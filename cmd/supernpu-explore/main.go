@@ -1,0 +1,51 @@
+// Command supernpu-explore runs the design-space sweeps that produced
+// SuperNPU: buffer division (Fig. 20), resource balancing (Fig. 21) and
+// registers per PE (Fig. 22).
+//
+// Usage:
+//
+//	supernpu-explore -sweep division
+//	supernpu-explore -sweep width
+//	supernpu-explore -sweep registers -width 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"supernpu"
+	"supernpu/internal/report"
+)
+
+func main() {
+	sweep := flag.String("sweep", "division", "sweep kind: division, width, registers")
+	width := flag.Int("width", 64, "PE array width for the registers sweep")
+	flag.Parse()
+
+	var (
+		points []supernpu.SweepPoint
+		err    error
+	)
+	switch *sweep {
+	case "division":
+		points, err = supernpu.ExploreDivision([]int{4, 16, 64, 256, 1024, 4096})
+	case "width":
+		points, err = supernpu.ExploreWidth()
+	case "registers":
+		points, err = supernpu.ExploreRegisters(*width, []int{1, 2, 4, 8, 16, 32})
+	default:
+		err = fmt.Errorf("unknown sweep %q (division, width, registers)", *sweep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supernpu-explore:", err)
+		os.Exit(1)
+	}
+
+	t := report.NewTable(fmt.Sprintf("%s sweep (geomean speedup vs Baseline)", *sweep),
+		"design", "single batch", "max batch", "area (norm.)")
+	for _, p := range points {
+		t.AddRow(p.Label, report.F(p.SingleBatch, 2), report.F(p.MaxBatch, 2), report.F(p.AreaRel, 3))
+	}
+	t.Render(os.Stdout)
+}

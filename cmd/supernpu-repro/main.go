@@ -1,0 +1,55 @@
+// Command supernpu-repro regenerates the paper's evaluation exhibits.
+//
+// Usage:
+//
+//	supernpu-repro              # regenerate every table and figure
+//	supernpu-repro -exp fig23   # regenerate one exhibit
+//	supernpu-repro -list        # list exhibit ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"supernpu/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "exhibit id (fig5..fig23, table1..table3, ablation-*), 'all' or 'ablations'")
+	list := flag.Bool("list", false, "list available exhibit ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		fmt.Println(strings.Join(experiments.AblationIDs(), "\n"))
+		return
+	}
+
+	var out string
+	var err error
+	switch *exp {
+	case "all":
+		out, err = experiments.RunAll()
+	case "ablations":
+		var b strings.Builder
+		for _, id := range experiments.AblationIDs() {
+			o, e := experiments.Run(id)
+			if e != nil {
+				err = e
+				break
+			}
+			b.WriteString(o)
+			b.WriteString("\n")
+		}
+		out = b.String()
+	default:
+		out, err = experiments.Run(*exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supernpu-repro:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

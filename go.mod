@@ -1,0 +1,3 @@
+module supernpu
+
+go 1.22

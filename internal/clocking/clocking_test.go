@@ -1,0 +1,174 @@
+package clocking
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"supernpu/internal/sfq"
+)
+
+func lib() *sfq.Library { return sfq.NewLibrary(sfq.AIST10(), sfq.RSFQ) }
+
+func ghz(f float64) float64 { return f / sfq.GHz }
+
+// Fig. 7(c): a DFF shift register runs at ~133 GHz without a feedback loop
+// (concurrent-flow + skewing) and ~71 GHz with one (counter-flow).
+func TestFig7ShiftRegisterFrequencies(t *testing.T) {
+	l := lib()
+	dff := l.Gate(sfq.DFF)
+	pair := Pair{Src: dff, Dst: dff}
+
+	noFB := ghz(Frequency(pair.CCT(ConcurrentFlowSkewed)))
+	withFB := ghz(Frequency(pair.CCT(CounterFlow)))
+
+	if math.Abs(noFB-133) > 4 {
+		t.Errorf("SR concurrent-flow frequency = %.1f GHz, want ~133", noFB)
+	}
+	if math.Abs(withFB-71) > 3 {
+		t.Errorf("SR counter-flow frequency = %.1f GHz, want ~71", withFB)
+	}
+}
+
+// Fig. 7(c): a full adder runs at ~66 GHz concurrent-flow and ~30 GHz
+// counter-flow.
+func TestFig7FullAdderFrequencies(t *testing.T) {
+	l := lib()
+	fa := l.Gate(sfq.FA)
+	pair := Pair{Src: fa, Dst: fa}
+
+	noFB := ghz(Frequency(pair.CCT(ConcurrentFlowSkewed)))
+	withFB := ghz(Frequency(pair.CCT(CounterFlow)))
+
+	if math.Abs(noFB-66) > 2 {
+		t.Errorf("FA concurrent-flow frequency = %.1f GHz, want ~66", noFB)
+	}
+	if math.Abs(withFB-30) > 2 {
+		t.Errorf("FA counter-flow frequency = %.1f GHz, want ~30", withFB)
+	}
+}
+
+func TestCounterFlowAlwaysSlowerThanSkewedConcurrent(t *testing.T) {
+	l := lib()
+	for _, k := range []sfq.GateKind{sfq.DFF, sfq.AND, sfq.XOR, sfq.FA, sfq.NDRO} {
+		g := l.Gate(k)
+		p := Pair{Src: g, Dst: g}
+		if p.CCT(CounterFlow) <= p.CCT(ConcurrentFlowSkewed) {
+			t.Errorf("%s: counter-flow must be slower than skewed concurrent-flow", k)
+		}
+	}
+}
+
+func TestUnskewedConcurrentFlowExposesMismatch(t *testing.T) {
+	l := lib()
+	dff := l.Gate(sfq.DFF)
+	// A long data wire with a short clock wire: the clock pulse must wait.
+	long := []sfq.Gate{l.Gate(sfq.JTL), l.Gate(sfq.JTL), l.Gate(sfq.JTL), l.Gate(sfq.JTL), l.Gate(sfq.JTL)}
+	p := Pair{Src: dff, Dst: dff, DataWire: long, ClockWire: []sfq.Gate{l.Gate(sfq.JTL)}}
+	unskewed := p.CCT(ConcurrentFlow)
+	skewed := p.CCT(ConcurrentFlowSkewed)
+	if unskewed <= skewed {
+		t.Fatalf("unskewed CCT %.2fps must exceed skewed %.2fps",
+			unskewed/sfq.Picosecond, skewed/sfq.Picosecond)
+	}
+	wantDT := p.DataDelay() - p.ClockDelay()
+	if got := unskewed - dff.Setup; math.Abs(got-wantDT) > 1e-15 && wantDT > dff.Hold {
+		t.Fatalf("unskewed CCT must expose δt = %.2fps, got %.2fps",
+			wantDT/sfq.Picosecond, got/sfq.Picosecond)
+	}
+}
+
+func TestMismatchWireGovernsSkewedPair(t *testing.T) {
+	l := lib()
+	fa := l.Gate(sfq.FA)
+	mm := []sfq.Gate{l.Gate(sfq.Splitter), l.Gate(sfq.Merger), l.Gate(sfq.Merger), l.Gate(sfq.JTL)}
+	p := Pair{Src: fa, Dst: fa, MismatchWire: mm}
+	// This is the 8-bit MAC critical pair: reconvergent fan-in that skewing
+	// cannot compensate. It must land at the paper's 52.6 GHz NPU clock.
+	f := ghz(Frequency(p.CCT(ConcurrentFlowSkewed)))
+	if math.Abs(f-52.6) > 1.0 {
+		t.Fatalf("MAC critical pair frequency = %.2f GHz, want ~52.6", f)
+	}
+}
+
+func TestPipelineCCTIsWorstPair(t *testing.T) {
+	l := lib()
+	fast := Pair{Src: l.Gate(sfq.DFF), Dst: l.Gate(sfq.DFF)}
+	slow := Pair{Src: l.Gate(sfq.FA), Dst: l.Gate(sfq.FA)}
+	got := PipelineCCT([]Pair{fast, slow, fast}, ConcurrentFlowSkewed)
+	if got != slow.CCT(ConcurrentFlowSkewed) {
+		t.Fatal("pipeline CCT must be the worst pair CCT")
+	}
+	if PipelineCCT(nil, ConcurrentFlowSkewed) != 0 {
+		t.Fatal("empty pipeline must have zero CCT")
+	}
+}
+
+func TestLoopScheme(t *testing.T) {
+	if LoopScheme(true) != CounterFlow {
+		t.Fatal("feedback loops require counter-flow clocking")
+	}
+	if LoopScheme(false) != ConcurrentFlowSkewed {
+		t.Fatal("feed-forward circuits use skewed concurrent-flow clocking")
+	}
+}
+
+func TestFrequencyEdgeCases(t *testing.T) {
+	if !math.IsInf(Frequency(0), 1) {
+		t.Fatal("zero CCT must map to +Inf frequency")
+	}
+	if got := Frequency(10 * sfq.Picosecond); math.Abs(got-100*sfq.GHz) > 1 {
+		t.Fatalf("1/10ps = %g, want 100 GHz", got)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		ConcurrentFlow:       "concurrent-flow",
+		ConcurrentFlowSkewed: "concurrent-flow+skew",
+		CounterFlow:          "counter-flow",
+		Scheme(42):           "unknown-scheme",
+	} {
+		if s.String() != want {
+			t.Errorf("Scheme(%d).String() = %q, want %q", int(s), s, want)
+		}
+	}
+}
+
+// Property: adding wire cells to the data path never increases frequency
+// under any scheme (monotonicity of the timing model).
+func TestWireMonotonicityProperty(t *testing.T) {
+	l := lib()
+	dff := l.Gate(sfq.DFF)
+	jtl := l.Gate(sfq.JTL)
+	f := func(nWire uint8, schemeSel uint8) bool {
+		s := Scheme(int(schemeSel) % 3)
+		wire := make([]sfq.Gate, int(nWire)%32)
+		for i := range wire {
+			wire[i] = jtl
+		}
+		short := Pair{Src: dff, Dst: dff, MismatchWire: wire}
+		longer := Pair{Src: dff, Dst: dff, DataWire: wire, MismatchWire: append([]sfq.Gate{jtl}, wire...)}
+		return longer.CCT(s) >= short.CCT(s)-1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CCT is always at least Setup + Hold of the destination gate —
+// no clocking scheme can beat the intrinsic timing constraints.
+func TestCCTLowerBoundProperty(t *testing.T) {
+	l := lib()
+	kinds := []sfq.GateKind{sfq.DFF, sfq.AND, sfq.OR, sfq.XOR, sfq.FA, sfq.NDRO, sfq.MUXCell}
+	f := func(srcSel, dstSel, schemeSel uint8) bool {
+		src := l.Gate(kinds[int(srcSel)%len(kinds)])
+		dst := l.Gate(kinds[int(dstSel)%len(kinds)])
+		s := Scheme(int(schemeSel) % 3)
+		p := Pair{Src: src, Dst: dst}
+		return p.CCT(s) >= dst.Setup+dst.Hold-1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

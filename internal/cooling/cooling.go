@@ -1,0 +1,64 @@
+// Package cooling models the 4 K cryocooler overhead and the
+// performance-per-watt accounting of Table III. Following Holmes et al.
+// (the paper's [46]), extracting one watt dissipated at 4 K costs about
+// 400 watts at the wall; the paper also evaluates the "free cooling"
+// scenario of a shared cryogenic facility, as assumed in quantum computing.
+package cooling
+
+// OverheadFactor is the wall-power multiplier of a 4 K cryocooler.
+const OverheadFactor = 400.0
+
+// WallPower converts 4 K chip power to total wall power including cooling.
+func WallPower(chipPower float64) float64 { return chipPower * OverheadFactor }
+
+// Scenario selects how cooling is charged.
+type Scenario int
+
+const (
+	// FreeCooling charges only chip power (shared cryogenic facility).
+	FreeCooling Scenario = iota
+	// FullCooling charges the 400× cryocooler overhead.
+	FullCooling
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	if s == FullCooling {
+		return "w/ cooling cost"
+	}
+	return "w/o cooling cost"
+}
+
+// Efficiency is one Table III row: a design's throughput per watt,
+// optionally normalised to a reference design.
+type Efficiency struct {
+	Name       string
+	Throughput float64 // MAC/s
+	ChipPower  float64 // W at 4 K (or ambient for CMOS)
+	Scenario   Scenario
+}
+
+// Power is the charged power of the row under its scenario.
+func (e Efficiency) Power() float64 {
+	if e.Scenario == FullCooling {
+		return WallPower(e.ChipPower)
+	}
+	return e.ChipPower
+}
+
+// PerfPerWatt is throughput divided by charged power.
+func (e Efficiency) PerfPerWatt() float64 {
+	if e.Power() <= 0 {
+		return 0
+	}
+	return e.Throughput / e.Power()
+}
+
+// RelativeTo returns this row's perf/W normalised to the reference row's.
+func (e Efficiency) RelativeTo(ref Efficiency) float64 {
+	r := ref.PerfPerWatt()
+	if r == 0 {
+		return 0
+	}
+	return e.PerfPerWatt() / r
+}

@@ -1,0 +1,78 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Table III arithmetic reproduced end to end: with the paper's SuperNPU
+// speedup (23× a 40 W TPU) the ERSFQ design at 1.9 W reaches ~490× perf/W
+// with free cooling and ~1.2× with the 400× cooling cost; RSFQ at 964 W is
+// ~0.95× and ~0.002×.
+func TestTable3Arithmetic(t *testing.T) {
+	const tpuPerf = 16e12 // effective MAC/s, arbitrary scale
+	tpu := Efficiency{Name: "TPU", Throughput: tpuPerf, ChipPower: 40, Scenario: FreeCooling}
+
+	cases := []struct {
+		name     string
+		power    float64
+		scenario Scenario
+		want     float64
+		tol      float64
+	}{
+		{"ERSFQ w/o cooling", 1.9, FreeCooling, 484, 10},
+		{"ERSFQ w/ cooling", 1.9, FullCooling, 1.21, 0.05},
+		{"RSFQ w/o cooling", 964, FreeCooling, 0.954, 0.02},
+		{"RSFQ w/ cooling", 964, FullCooling, 0.00239, 0.0002},
+	}
+	for _, c := range cases {
+		e := Efficiency{Name: c.name, Throughput: 23 * tpuPerf, ChipPower: c.power, Scenario: c.scenario}
+		got := e.RelativeTo(tpu)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s: perf/W = %.4g× TPU, want %.4g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWallPower(t *testing.T) {
+	if WallPower(1.9) != 760 {
+		t.Fatalf("WallPower(1.9) = %g, want 760", WallPower(1.9))
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if FreeCooling.String() != "w/o cooling cost" || FullCooling.String() != "w/ cooling cost" {
+		t.Fatal("unexpected scenario strings")
+	}
+}
+
+func TestZeroPowerGuards(t *testing.T) {
+	z := Efficiency{Throughput: 1e12, ChipPower: 0}
+	if z.PerfPerWatt() != 0 {
+		t.Fatal("zero power must yield zero perf/W, not +Inf")
+	}
+	e := Efficiency{Throughput: 1e12, ChipPower: 10}
+	if e.RelativeTo(z) != 0 {
+		t.Fatal("relative to a zero-perf/W reference must be 0")
+	}
+}
+
+// Property: cooling always costs exactly 400× and never changes ordering.
+func TestCoolingOrderInvarianceProperty(t *testing.T) {
+	f := func(p1, p2 uint16, t1, t2 uint32) bool {
+		a := Efficiency{Throughput: float64(t1) + 1, ChipPower: float64(p1) + 1}
+		b := Efficiency{Throughput: float64(t2) + 1, ChipPower: float64(p2) + 1}
+		aFull, bFull := a, b
+		aFull.Scenario, bFull.Scenario = FullCooling, FullCooling
+		// 400× scaling.
+		if math.Abs(aFull.Power()-400*a.Power()) > 1e-9 {
+			return false
+		}
+		// Order preservation.
+		return (a.PerfPerWatt() > b.PerfPerWatt()) == (aFull.PerfPerWatt() > bFull.PerfPerWatt())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package core ties the SuperNPU system together: it exposes the paper's
+// five evaluation design points (the TPU core plus the four SFQ designs),
+// a unified evaluation interface over both simulators, and the design-space
+// exploration entry points (buffer division, resource balancing, register
+// scaling) that produced SuperNPU.
+package core
+
+import (
+	"fmt"
+
+	"supernpu/internal/arch"
+	"supernpu/internal/cooling"
+	"supernpu/internal/npusim"
+	"supernpu/internal/scalesim"
+	"supernpu/internal/workload"
+)
+
+// Platform distinguishes the two simulated machine families.
+type Platform int
+
+const (
+	// SFQ designs run on the npusim cycle model with the estimator's
+	// frequency/power/area.
+	SFQ Platform = iota
+	// CMOS designs run on the scalesim TPU-core model.
+	CMOS
+)
+
+// Design is one evaluated design point.
+type Design struct {
+	Platform Platform
+	SFQ      arch.Config
+	CMOS     scalesim.Config
+}
+
+// Name returns the design's display name.
+func (d Design) Name() string {
+	if d.Platform == CMOS {
+		return d.CMOS.Name
+	}
+	return d.SFQ.Name
+}
+
+// SFQDesign wraps an SFQ configuration.
+func SFQDesign(cfg arch.Config) Design { return Design{Platform: SFQ, SFQ: cfg} }
+
+// CMOSDesign wraps a CMOS configuration.
+func CMOSDesign(cfg scalesim.Config) Design { return Design{Platform: CMOS, CMOS: cfg} }
+
+// DesignPoints returns the paper's five evaluated designs in Fig. 23
+// order: TPU, Baseline, Buffer opt., Resource opt., SuperNPU.
+func DesignPoints() []Design {
+	out := []Design{CMOSDesign(scalesim.TPU())}
+	for _, c := range arch.Designs() {
+		out = append(out, SFQDesign(c))
+	}
+	return out
+}
+
+// Workloads returns the six evaluation CNNs.
+func Workloads() []workload.Network { return workload.All() }
+
+// Evaluation is the unified result of running one workload on one design.
+type Evaluation struct {
+	Design  string
+	Network string
+	Batch   int
+
+	Frequency     float64 // Hz
+	PeakMACs      float64 // MAC/s
+	Throughput    float64 // effective MAC/s
+	Time          float64 // batch latency (s)
+	PEUtilization float64
+	TotalCycles   int64
+	MACs          int64
+
+	// PrepFraction is preparation/total cycles (SFQ designs only).
+	PrepFraction float64
+	// ChipPower is static+dynamic for SFQ, the average power for CMOS.
+	ChipPower float64
+
+	// SFQReport and CMOSReport expose the platform-specific detail;
+	// exactly one is non-nil.
+	SFQReport  *npusim.Report
+	CMOSReport *scalesim.Report
+}
+
+// Evaluate runs the workload at the given batch (0 = the design's max
+// batch) and returns the unified result.
+func Evaluate(d Design, net workload.Network, batch int) (*Evaluation, error) {
+	switch d.Platform {
+	case SFQ:
+		r, err := npusim.Simulate(d.SFQ, net, batch)
+		if err != nil {
+			return nil, err
+		}
+		return &Evaluation{
+			Design: d.Name(), Network: net.Name, Batch: r.Batch,
+			Frequency: r.Frequency, PeakMACs: r.PeakMACs,
+			Throughput: r.Throughput, Time: r.Time,
+			PEUtilization: r.PEUtilization,
+			TotalCycles:   r.TotalCycles, MACs: r.MACs,
+			PrepFraction: r.PrepFraction(),
+			ChipPower:    r.TotalPower(),
+			SFQReport:    r,
+		}, nil
+	case CMOS:
+		r, err := scalesim.Simulate(d.CMOS, net, batch)
+		if err != nil {
+			return nil, err
+		}
+		return &Evaluation{
+			Design: d.Name(), Network: net.Name, Batch: r.Batch,
+			Frequency: d.CMOS.Frequency, PeakMACs: d.CMOS.PeakMACs(),
+			Throughput: r.Throughput, Time: r.Time,
+			PEUtilization: r.PEUtilization,
+			TotalCycles:   r.TotalCycles, MACs: r.MACs,
+			ChipPower:  d.CMOS.Power,
+			CMOSReport: r,
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown platform %d", d.Platform)
+	}
+}
+
+// MaxBatch returns the design's Table II batch for the network.
+func (d Design) MaxBatch(net workload.Network) int {
+	if d.Platform == CMOS {
+		return d.CMOS.MaxBatch(net)
+	}
+	return npusim.MaxBatch(d.SFQ, net)
+}
+
+// Speedup evaluates a design against the TPU reference on one workload and
+// returns effective-throughput ratio (Fig. 23's y-axis).
+func Speedup(d Design, net workload.Network) (float64, error) {
+	ref, err := Evaluate(CMOSDesign(scalesim.TPU()), net, 0)
+	if err != nil {
+		return 0, err
+	}
+	ev, err := Evaluate(d, net, 0)
+	if err != nil {
+		return 0, err
+	}
+	return ev.Throughput / ref.Throughput, nil
+}
+
+// Efficiency builds the Table III row for an evaluation under a cooling
+// scenario.
+func (e *Evaluation) Efficiency(s cooling.Scenario) cooling.Efficiency {
+	return cooling.Efficiency{
+		Name:       e.Design,
+		Throughput: e.Throughput,
+		ChipPower:  e.ChipPower,
+		Scenario:   s,
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"supernpu/internal/arch"
+	"supernpu/internal/estimator"
+	"supernpu/internal/npusim"
+	"supernpu/internal/workload"
+)
+
+// geomean of a slice (the figures' cross-workload aggregate).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// SweepPoint is one design point of an exploration sweep, normalised to the
+// Baseline design.
+type SweepPoint struct {
+	Label string
+	// SingleBatch and MaxBatch are geometric-mean speedups over the
+	// Baseline across the six workloads at batch 1 and at each design's
+	// maximum batch.
+	SingleBatch float64
+	MaxBatch    float64
+	// AreaRel is the design's area relative to the Baseline.
+	AreaRel float64
+	Config  arch.Config
+}
+
+// baselineThroughputs returns each workload's Baseline batch-1 throughput,
+// the normalisation reference of Figs. 20–22.
+func baselineThroughputs() (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, net := range workload.All() {
+		r, err := npusim.Simulate(arch.Baseline(), net, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[net.Name] = r.Throughput
+	}
+	return out, nil
+}
+
+// sweep evaluates one configuration against the Baseline reference.
+func sweep(cfg arch.Config, base map[string]float64, baseArea float64) (SweepPoint, error) {
+	var s1, sm []float64
+	for _, net := range workload.All() {
+		r1, err := npusim.Simulate(cfg, net, 1)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		rm, err := npusim.Simulate(cfg, net, 0)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		s1 = append(s1, r1.Throughput/base[net.Name])
+		sm = append(sm, rm.Throughput/base[net.Name])
+	}
+	est, err := estimator.Estimate(cfg)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		Label:       cfg.Name,
+		SingleBatch: geomean(s1),
+		MaxBatch:    geomean(sm),
+		AreaRel:     est.Area28nm / baseArea,
+		Config:      cfg,
+	}, nil
+}
+
+func baselineArea() (float64, error) {
+	est, err := estimator.Estimate(arch.Baseline())
+	if err != nil {
+		return 0, err
+	}
+	return est.Area28nm, nil
+}
+
+// ExploreDivision reproduces the Fig. 20 sweep: the Baseline, psum/ofmap
+// integration (division 2), then growing division degrees.
+func ExploreDivision(degrees []int) ([]SweepPoint, error) {
+	base, err := baselineThroughputs()
+	if err != nil {
+		return nil, err
+	}
+	bArea, err := baselineArea()
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	p, err := sweep(arch.Baseline(), base, bArea)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, p)
+
+	integ := arch.BufferOpt()
+	integ.IfmapChunks, integ.OutputChunks = 2, 2
+	integ.Name = "+Integration"
+	p, err = sweep(integ, base, bArea)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, p)
+
+	for _, d := range degrees {
+		c := arch.BufferOpt()
+		c.IfmapChunks, c.OutputChunks = d, d
+		c.Name = fmt.Sprintf("+Division %d", d)
+		p, err = sweep(c, base, bArea)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WidthPoint is one Fig. 21 resource-balancing configuration: PE-array
+// width with the buffer capacity the freed area affords.
+type WidthPoint struct {
+	Width    int
+	BufferMB int
+}
+
+// Fig21Points returns the paper's five resource-balancing points.
+func Fig21Points() []WidthPoint {
+	return []WidthPoint{{256, 24}, {128, 38}, {64, 46}, {32, 50}, {16, 51}}
+}
+
+// widthConfig builds a buffer-optimised design at the given array width
+// and total buffer capacity, keeping the output chunk length constant as
+// the paper does (division degree grows as width shrinks).
+func widthConfig(width, bufMB, regs int) arch.Config {
+	c := arch.BufferOpt()
+	c.Name = fmt.Sprintf("width %d / %d MB / %d regs", width, bufMB, regs)
+	c.ArrayWidth = width
+	c.Registers = regs
+	c.IfmapBufBytes = bufMB * arch.MB / 2
+	c.OutputBufBytes = bufMB * arch.MB / 2
+	c.OutputChunks = 64 * 256 / width
+	return c
+}
+
+// ExploreWidth reproduces the Fig. 21 sweep over the given points.
+func ExploreWidth(points []WidthPoint) ([]SweepPoint, error) {
+	base, err := baselineThroughputs()
+	if err != nil {
+		return nil, err
+	}
+	bArea, err := baselineArea()
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, wp := range points {
+		p, err := sweep(widthConfig(wp.Width, wp.BufferMB, 1), base, bArea)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ExploreRegisters reproduces the Fig. 22 sweep: registers-per-PE scaling
+// at the given array width with its Fig. 21 buffer capacity.
+func ExploreRegisters(width int, regCounts []int) ([]SweepPoint, error) {
+	base, err := baselineThroughputs()
+	if err != nil {
+		return nil, err
+	}
+	bArea, err := baselineArea()
+	if err != nil {
+		return nil, err
+	}
+	bufMB := 46
+	if width == 128 {
+		bufMB = 38
+	}
+	var out []SweepPoint
+	for _, r := range regCounts {
+		p, err := sweep(widthConfig(width, bufMB, r), base, bArea)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationIDsDispatch(t *testing.T) {
+	if len(AblationIDs()) != 7 {
+		t.Fatalf("got %d ablations, want 7", len(AblationIDs()))
+	}
+	for _, id := range AblationIDs() {
+		out, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "Ablation:") {
+			t.Errorf("%s output missing the Ablation marker", id)
+		}
+	}
+}
+
+// The dataflow ablation must show the ~2× counter-flow penalty.
+func TestAblationDataflowShowsFeedbackPenalty(t *testing.T) {
+	out, err := AblationDataflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "weight-stationary") || !strings.Contains(out, "counter-flow") {
+		t.Fatalf("missing dataflow rows:\n%s", out)
+	}
+	if !strings.Contains(out, "52.6") {
+		t.Error("WS PE must run at the 52.6 GHz NPU clock")
+	}
+}
+
+// The DAU ablation must show batch collapse for the duplication-heavy nets.
+func TestAblationNoDAUCollapsesBatch(t *testing.T) {
+	out, err := AblationNoDAU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"VGG16", "AlexNet", "duplicated"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("output missing %q", m)
+		}
+	}
+}
+
+// The skew ablation must report a slowdown without skew tuning.
+func TestAblationSkewSlowdown(t *testing.T) {
+	out, err := AblationClockSkewing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "unskewed") {
+		t.Fatalf("missing unskewed row:\n%s", out)
+	}
+}
+
+// Scaling must show the linear frequency growth and the 200 nm clamp.
+func TestAblationScalingRows(t *testing.T) {
+	out, err := AblationScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"1.00 um", "0.50 um", "0.20 um"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("output missing %q row", m)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsCoverEveryExhibit(t *testing.T) {
+	// The paper's evaluation has ten figures-with-data and three tables we
+	// reproduce.
+	if len(IDs()) != 13 {
+		t.Fatalf("got %d exhibit ids, want 13", len(IDs()))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99"); err == nil {
+		t.Fatal("unknown exhibit ids must error")
+	}
+}
+
+// Every exhibit must regenerate without error and carry its title.
+func TestEveryExhibitRuns(t *testing.T) {
+	titles := map[string]string{
+		"fig5":   "Fig. 5",
+		"fig7":   "Fig. 7",
+		"fig8":   "Fig. 8",
+		"fig13":  "Fig. 13",
+		"fig15":  "Fig. 15",
+		"fig17":  "Fig. 17",
+		"fig20":  "Fig. 20",
+		"fig21":  "Fig. 21",
+		"fig22":  "Fig. 22",
+		"fig23":  "Fig. 23",
+		"table1": "Table I",
+		"table2": "Table II",
+		"table3": "Table III",
+	}
+	for _, id := range IDs() {
+		out, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, titles[id]) {
+			t.Errorf("%s output missing title %q", id, titles[id])
+		}
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously short (%d bytes)", id, len(out))
+		}
+	}
+}
+
+func TestRunAllConcatenatesEverything(t *testing.T) {
+	out, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"Fig. 5", "Fig. 23", "Table III", "SuperNPU"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("RunAll output missing %q", marker)
+		}
+	}
+}
+
+func TestFig23ContainsAllDesignsAndWorkloads(t *testing.T) {
+	out, err := Fig23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"TPU", "Baseline", "Buffer opt.", "Resource opt.", "SuperNPU",
+		"AlexNet", "FasterRCNN", "GoogLeNet", "MobileNet", "ResNet50", "VGG16", "geomean"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("Fig23 output missing %q", m)
+		}
+	}
+}
+
+func TestTable3ContainsBothTechnologiesAndScenarios(t *testing.T) {
+	out, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"RSFQ-SuperNPU", "ERSFQ-SuperNPU", "w/ cooling", "w/o cooling"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("Table3 output missing %q", m)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package jsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"supernpu/internal/sfq"
+)
+
+// Link is an inductive coupling between two junction nodes of a Circuit.
+type Link struct {
+	A, B int
+	L    float64 // henries
+}
+
+// Circuit generalises Chain to an arbitrary junction/inductor graph, which
+// is what branching cells (splitters, confluence buffers) need: a node may
+// couple to any number of neighbours.
+type Circuit struct {
+	Nodes   []Node // LNext is ignored; Links carries the couplings
+	Links   []Link
+	Sources []PulseSource
+}
+
+// SplitterTree builds a JTL that fans out through a splitter node into two
+// output arms — the wire cell that duplicates every pulse (Fig. 4's "S").
+// The branch junction carries a higher critical current so it can drive
+// both arms, exactly as laid-out splitter cells do.
+func SplitterTree(armLen int) *Circuit {
+	const (
+		ic = 100e-6
+		c  = 0.24e-12
+	)
+	l := 3 * phi0over2pi / ic
+
+	ckt := &Circuit{}
+	addNode := func(icScale float64) int {
+		jj := CriticallyDamped(ic*icScale, c*icScale)
+		ckt.Nodes = append(ckt.Nodes, Node{JJ: jj, Bias: 0.7 * ic * icScale})
+		return len(ckt.Nodes) - 1
+	}
+
+	// Input JTL: three stages into the branch node.
+	prev := addNode(1)
+	for i := 0; i < 2; i++ {
+		n := addNode(1)
+		ckt.Links = append(ckt.Links, Link{A: prev, B: n, L: l})
+		prev = n
+	}
+	// The branch node: 1.4× junction drives two arms.
+	branch := addNode(1.4)
+	ckt.Links = append(ckt.Links, Link{A: prev, B: branch, L: l})
+
+	for arm := 0; arm < 2; arm++ {
+		p := branch
+		for i := 0; i < armLen; i++ {
+			n := addNode(1)
+			ckt.Links = append(ckt.Links, Link{A: p, B: n, L: l * 1.2})
+			p = n
+		}
+	}
+	ckt.Sources = []PulseSource{{Node: 0, At: 20e-12, Sigma: 1.2e-12, Amp: 1.8 * ic}}
+	return ckt
+}
+
+// ArmEnds returns the terminal node indices of a SplitterTree(armLen).
+func (c *Circuit) ArmEnds(armLen int) (int, int) {
+	n := len(c.Nodes)
+	return n - 1 - armLen, n - 1
+}
+
+// Run integrates the circuit with RK4, like Chain.Run but over the link
+// graph.
+func (c *Circuit) Run(T, dt float64) (*Result, error) {
+	if dt <= 0 || T <= 0 {
+		return nil, errors.New("jsim: T and dt must be positive")
+	}
+	n := len(c.Nodes)
+	if n == 0 {
+		return nil, errors.New("jsim: empty circuit")
+	}
+	for _, lk := range c.Links {
+		if lk.A < 0 || lk.A >= n || lk.B < 0 || lk.B >= n || lk.L <= 0 {
+			return nil, fmt.Errorf("jsim: invalid link %+v", lk)
+		}
+	}
+	steps := int(T/dt) + 1
+
+	phi := make([]float64, n)
+	v := make([]float64, n)
+	for i, nd := range c.Nodes {
+		r := nd.Bias / nd.JJ.Ic
+		if r > 0.999 {
+			r = 0.999
+		}
+		if r < -0.999 {
+			r = -0.999
+		}
+		phi[i] = math.Asin(r)
+	}
+
+	// Adjacency with inverse inductances.
+	type nb struct {
+		node int
+		invL float64
+	}
+	adj := make([][]nb, n)
+	for _, lk := range c.Links {
+		adj[lk.A] = append(adj[lk.A], nb{lk.B, 1 / lk.L})
+		adj[lk.B] = append(adj[lk.B], nb{lk.A, 1 / lk.L})
+	}
+
+	deriv := func(t float64, phi, v, dphi, dv []float64) {
+		for i := 0; i < n; i++ {
+			jj := c.Nodes[i].JJ
+			cur := c.Nodes[i].Bias
+			for _, s := range c.Sources {
+				if s.Node == i {
+					cur += s.current(t)
+				}
+			}
+			for _, e := range adj[i] {
+				cur += phi0over2pi * (phi[e.node] - phi[i]) * e.invL
+			}
+			cur -= jj.Ic * math.Sin(phi[i])
+			cur -= phi0over2pi * v[i] / jj.R
+			dphi[i] = v[i]
+			dv[i] = cur / (jj.C * phi0over2pi)
+		}
+	}
+
+	res := &Result{Dt: dt}
+	k1p, k1v := make([]float64, n), make([]float64, n)
+	k2p, k2v := make([]float64, n), make([]float64, n)
+	k3p, k3v := make([]float64, n), make([]float64, n)
+	k4p, k4v := make([]float64, n), make([]float64, n)
+	tp, tv := make([]float64, n), make([]float64, n)
+
+	energy := 0.0
+	for s := 0; s < steps; s++ {
+		t := float64(s) * dt
+		snap := make([]float64, n)
+		copy(snap, phi)
+		res.Phases = append(res.Phases, snap)
+		res.BiasEnergy = append(res.BiasEnergy, energy)
+
+		deriv(t, phi, v, k1p, k1v)
+		for i := 0; i < n; i++ {
+			tp[i] = phi[i] + 0.5*dt*k1p[i]
+			tv[i] = v[i] + 0.5*dt*k1v[i]
+		}
+		deriv(t+0.5*dt, tp, tv, k2p, k2v)
+		for i := 0; i < n; i++ {
+			tp[i] = phi[i] + 0.5*dt*k2p[i]
+			tv[i] = v[i] + 0.5*dt*k2v[i]
+		}
+		deriv(t+0.5*dt, tp, tv, k3p, k3v)
+		for i := 0; i < n; i++ {
+			tp[i] = phi[i] + dt*k3p[i]
+			tv[i] = v[i] + dt*k3v[i]
+		}
+		deriv(t+dt, tp, tv, k4p, k4v)
+
+		for i := 0; i < n; i++ {
+			phi[i] += dt / 6 * (k1p[i] + 2*k2p[i] + 2*k3p[i] + k4p[i])
+			v[i] += dt / 6 * (k1v[i] + 2*k2v[i] + 2*k3v[i] + k4v[i])
+			if math.IsNaN(phi[i]) || math.IsInf(phi[i], 0) {
+				return nil, fmt.Errorf("jsim: circuit diverged at t=%.3gps node %d", t/sfq.Picosecond, i)
+			}
+			energy += c.Nodes[i].Bias * phi0over2pi * v[i] * dt
+		}
+	}
+	return res, nil
+}
+
+// Margins is an operating-margin analysis result: the bias range (as a
+// fraction of the nominal point) over which a cell still functions — the
+// standard robustness metric of SFQ cell characterisation.
+type Margins struct {
+	Low, High float64 // working bias limits as multiples of Ic
+}
+
+// Width is the relative margin width around the nominal 0.7·Ic point.
+func (m Margins) Width() float64 { return m.High - m.Low }
+
+// BiasMargins measures the JTL's operating bias margins by bisection: the
+// lowest and highest global bias (in multiples of Ic) at which a 10-stage
+// line still delivers exactly one pulse per injected fluxon. SFQ cells are
+// typically quoted with ±20–30% bias margins.
+func BiasMargins() (Margins, error) {
+	works := func(bias float64) bool {
+		ch := StandardJTL(10)
+		for i := range ch.Nodes {
+			ch.Nodes[i].Bias = bias * ch.Nodes[i].JJ.Ic
+		}
+		res, err := ch.Run(140*sfq.Picosecond, 0.05*sfq.Picosecond)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			if res.Slips(i) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	const nominal = 0.7
+	if !works(nominal) {
+		return Margins{}, errors.New("jsim: JTL fails at the nominal bias point")
+	}
+	bisect := func(bad, good float64) float64 {
+		for i := 0; i < 12; i++ {
+			mid := (bad + good) / 2
+			if works(mid) {
+				good = mid
+			} else {
+				bad = mid
+			}
+		}
+		return good
+	}
+	return Margins{Low: bisect(0.0, nominal), High: bisect(1.2, nominal)}, nil
+}

@@ -1,0 +1,103 @@
+package jsim
+
+import (
+	"testing"
+
+	"supernpu/internal/sfq"
+)
+
+// A splitter duplicates every pulse: one injected fluxon must arrive at
+// both arm ends exactly once (Fig. 2's "S" wire cell).
+func TestSplitterDuplicatesPulse(t *testing.T) {
+	const armLen = 4
+	ckt := SplitterTree(armLen)
+	res, err := ckt.Run(140*sfq.Picosecond, 0.02*sfq.Picosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endA, endB := ckt.ArmEnds(armLen)
+	if got := res.Slips(endA); got != 1 {
+		t.Errorf("arm A end slipped %d times, want 1", got)
+	}
+	if got := res.Slips(endB); got != 1 {
+		t.Errorf("arm B end slipped %d times, want 1", got)
+	}
+	// Both arms see the pulse at (nearly) the same time — the identical
+	// pulses of the splitter definition.
+	ta, tb := res.PulseTimes(endA), res.PulseTimes(endB)
+	if len(ta) != 1 || len(tb) != 1 {
+		t.Fatalf("arm pulse counts: %d / %d, want 1 / 1", len(ta), len(tb))
+	}
+	diff := ta[0] - tb[0]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1*sfq.Picosecond {
+		t.Errorf("arm arrival skew = %.2f ps, want symmetric (< 1 ps)", diff/sfq.Picosecond)
+	}
+}
+
+func TestSplitterQuiescentWithoutInput(t *testing.T) {
+	ckt := SplitterTree(3)
+	ckt.Sources = nil
+	res, err := ckt.Run(100*sfq.Picosecond, 0.05*sfq.Picosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ckt.Nodes {
+		if res.Slips(i) != 0 {
+			t.Fatalf("node %d switched without stimulus", i)
+		}
+	}
+}
+
+func TestCircuitValidation(t *testing.T) {
+	empty := &Circuit{}
+	if _, err := empty.Run(1e-11, 1e-15); err == nil {
+		t.Error("empty circuit must be rejected")
+	}
+	bad := SplitterTree(2)
+	bad.Links = append(bad.Links, Link{A: 0, B: 999, L: 1e-12})
+	if _, err := bad.Run(1e-11, 1e-15); err == nil {
+		t.Error("out-of-range link must be rejected")
+	}
+	badL := SplitterTree(2)
+	badL.Links[0].L = 0
+	if _, err := badL.Run(1e-11, 1e-15); err == nil {
+		t.Error("non-positive inductance must be rejected")
+	}
+	if _, err := SplitterTree(2).Run(0, 1e-15); err == nil {
+		t.Error("non-positive T must be rejected")
+	}
+}
+
+// Operating margins: the JTL must work over a healthy bias window around
+// the nominal 0.7·Ic — the robustness SFQ cell libraries are quoted with.
+func TestBiasMargins(t *testing.T) {
+	m, err := BiasMargins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Low >= 0.7 || m.High <= 0.7 {
+		t.Fatalf("margins [%.2f, %.2f] must bracket the nominal 0.7·Ic", m.Low, m.High)
+	}
+	if m.Width() < 0.2 {
+		t.Errorf("margin width = %.2f·Ic, want at least ±10%% around nominal", m.Width())
+	}
+	if m.High > 1.2 || m.Low < 0.0 {
+		t.Errorf("margins [%.2f, %.2f] outside physical range", m.Low, m.High)
+	}
+}
+
+// Setup-time extraction: the storage cell needs the data pulse to settle
+// for a few picoseconds before a clock pulse can read it out — the SetupTime
+// the cell library carries (DFF: 4.5 ps).
+func TestExtractSetupTime(t *testing.T) {
+	ts, err := ExtractSetupTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts < 0.1*sfq.Picosecond || ts > 20*sfq.Picosecond {
+		t.Fatalf("extracted setup time = %.2f ps, want a few ps", ts/sfq.Picosecond)
+	}
+}

@@ -1,0 +1,243 @@
+// Package jsim is a transient circuit simulator for small superconductor
+// single-flux-quantum netlists, standing in for JSIM (Fang & Van Duzer,
+// 1989), which the paper uses to extract gate-level timing and power
+// parameters (Section IV-A1).
+//
+// Each Josephson junction follows the RCSJ (resistively and capacitively
+// shunted junction) model. A circuit is a chain of junction nodes coupled by
+// inductors — the canonical topology of Josephson transmission lines (JTL)
+// and of the storage loops inside SFQ gates. Node i obeys the discrete
+// sine-Gordon equation derived from Kirchhoff's current law:
+//
+//	C·(Φ0/2π)·φ̈ = I_bias + I_in(t)
+//	             + (Φ0/2π)·( (φ_{i-1}−φ_i)/L_{i-1} + (φ_{i+1}−φ_i)/L_i )
+//	             − Ic·sin(φ)  −  (Φ0/2π)·φ̇/R
+//
+// A single flux quantum is a travelling 2π phase slip; a voltage pulse is
+// V = (Φ0/2π)·φ̇. The package measures pulse arrival times, per-stage
+// propagation delay, and switching energy drawn from the bias network —
+// which is exactly Σ I_bias·Φ0 per propagated fluxon, the physical basis of
+// the cell library's per-JJ switching energy.
+package jsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"supernpu/internal/sfq"
+)
+
+// phi0over2pi is the reduced flux quantum Φ0/2π.
+const phi0over2pi = sfq.FluxQuantum / (2 * math.Pi)
+
+// Junction is one RCSJ Josephson junction to ground.
+type Junction struct {
+	Ic float64 // critical current (A)
+	C  float64 // shunt capacitance (F)
+	R  float64 // shunt resistance (Ω)
+}
+
+// CriticallyDamped returns a junction with the given critical current and
+// capacitance whose shunt resistance is chosen for a Stewart–McCumber
+// parameter βc = 1, the standard operating point of RSFQ cells.
+func CriticallyDamped(ic, c float64) Junction {
+	r := math.Sqrt(phi0over2pi / (ic * c))
+	return Junction{Ic: ic, C: c, R: r}
+}
+
+// Node is one chain node: a junction with its DC bias and the inductor to
+// the next node (LNext of the final node is ignored).
+type Node struct {
+	JJ    Junction
+	Bias  float64 // DC bias current into the node (A)
+	LNext float64 // inductance to the following node (H)
+}
+
+// PulseSource injects a Gaussian current pulse at one node, the standard
+// stimulus for triggering an SFQ event.
+type PulseSource struct {
+	Node  int
+	At    float64 // pulse centre time (s)
+	Sigma float64 // pulse width (s)
+	Amp   float64 // peak current (A)
+}
+
+func (p PulseSource) current(t float64) float64 {
+	x := (t - p.At) / p.Sigma
+	return p.Amp * math.Exp(-x*x)
+}
+
+// Chain is a simulatable junction chain with pulse stimuli.
+type Chain struct {
+	Nodes   []Node
+	Sources []PulseSource
+}
+
+// StandardJTL builds an n-stage Josephson transmission line with the AIST
+// 1.0 µm operating point: Ic = 100 µA, βc = 1, βL ≈ 3, bias 0.7·Ic, and a
+// trigger pulse at the first node.
+func StandardJTL(n int) *Chain {
+	const (
+		ic = 100e-6
+		c  = 0.24e-12 // ≈60 fF/µm² × 4 µm²
+	)
+	l := 3 * phi0over2pi / ic // βL = 2π·L·Ic/Φ0 = 3
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{JJ: CriticallyDamped(ic, c), Bias: 0.7 * ic, LNext: l}
+	}
+	return &Chain{
+		Nodes: nodes,
+		Sources: []PulseSource{{
+			Node: 0, At: 20e-12, Sigma: 1.2e-12, Amp: 1.8 * ic,
+		}},
+	}
+}
+
+// Result holds the transient solution of a chain simulation.
+type Result struct {
+	Dt     float64     // time step (s)
+	Phases [][]float64 // Phases[step][node]
+	// BiasEnergy is the cumulative energy delivered by all bias sources up
+	// to each step: ∫ Σ I_bias·V dt.
+	BiasEnergy []float64
+}
+
+// Run integrates the chain with classical RK4 over duration T using a fixed
+// step dt. dt must resolve the junction plasma period; Run returns an error
+// if dt is not positive or the solution diverges (non-finite phase).
+func (c *Chain) Run(T, dt float64) (*Result, error) {
+	if dt <= 0 || T <= 0 {
+		return nil, errors.New("jsim: T and dt must be positive")
+	}
+	n := len(c.Nodes)
+	if n == 0 {
+		return nil, errors.New("jsim: empty chain")
+	}
+	steps := int(T/dt) + 1
+
+	// State: phases φ and phase velocities v = φ̇. Each node starts at its
+	// DC equilibrium φ = arcsin(I_bias/Ic) so the quiescent circuit is
+	// genuinely quiescent (no settling transient drawing bias energy).
+	phi := make([]float64, n)
+	v := make([]float64, n)
+	for i, nd := range c.Nodes {
+		r := nd.Bias / nd.JJ.Ic
+		if r > 0.999 {
+			r = 0.999
+		}
+		if r < -0.999 {
+			r = -0.999
+		}
+		phi[i] = math.Asin(r)
+	}
+
+	deriv := func(t float64, phi, v, dphi, dv []float64) {
+		for i := 0; i < n; i++ {
+			jj := c.Nodes[i].JJ
+			cur := c.Nodes[i].Bias
+			for _, s := range c.Sources {
+				if s.Node == i {
+					cur += s.current(t)
+				}
+			}
+			if i > 0 {
+				cur += phi0over2pi * (phi[i-1] - phi[i]) / c.Nodes[i-1].LNext
+			}
+			if i < n-1 {
+				cur += phi0over2pi * (phi[i+1] - phi[i]) / c.Nodes[i].LNext
+			}
+			cur -= jj.Ic * math.Sin(phi[i])
+			cur -= phi0over2pi * v[i] / jj.R
+			dphi[i] = v[i]
+			dv[i] = cur / (jj.C * phi0over2pi)
+		}
+	}
+
+	res := &Result{
+		Dt:         dt,
+		Phases:     make([][]float64, 0, steps),
+		BiasEnergy: make([]float64, 0, steps),
+	}
+
+	// RK4 scratch buffers.
+	k1p, k1v := make([]float64, n), make([]float64, n)
+	k2p, k2v := make([]float64, n), make([]float64, n)
+	k3p, k3v := make([]float64, n), make([]float64, n)
+	k4p, k4v := make([]float64, n), make([]float64, n)
+	tp, tv := make([]float64, n), make([]float64, n)
+
+	energy := 0.0
+	for s := 0; s < steps; s++ {
+		t := float64(s) * dt
+		snap := make([]float64, n)
+		copy(snap, phi)
+		res.Phases = append(res.Phases, snap)
+		res.BiasEnergy = append(res.BiasEnergy, energy)
+
+		deriv(t, phi, v, k1p, k1v)
+		for i := 0; i < n; i++ {
+			tp[i] = phi[i] + 0.5*dt*k1p[i]
+			tv[i] = v[i] + 0.5*dt*k1v[i]
+		}
+		deriv(t+0.5*dt, tp, tv, k2p, k2v)
+		for i := 0; i < n; i++ {
+			tp[i] = phi[i] + 0.5*dt*k2p[i]
+			tv[i] = v[i] + 0.5*dt*k2v[i]
+		}
+		deriv(t+0.5*dt, tp, tv, k3p, k3v)
+		for i := 0; i < n; i++ {
+			tp[i] = phi[i] + dt*k3p[i]
+			tv[i] = v[i] + dt*k3v[i]
+		}
+		deriv(t+dt, tp, tv, k4p, k4v)
+
+		for i := 0; i < n; i++ {
+			phi[i] += dt / 6 * (k1p[i] + 2*k2p[i] + 2*k3p[i] + k4p[i])
+			v[i] += dt / 6 * (k1v[i] + 2*k2v[i] + 2*k3v[i] + k4v[i])
+			if math.IsNaN(phi[i]) || math.IsInf(phi[i], 0) {
+				return nil, fmt.Errorf("jsim: solution diverged at t=%.3gps node %d", t/sfq.Picosecond, i)
+			}
+			// Bias energy: P = I_bias · V = I_bias · (Φ0/2π)·φ̇.
+			energy += c.Nodes[i].Bias * phi0over2pi * v[i] * dt
+		}
+	}
+	return res, nil
+}
+
+// PulseTimes returns the times at which SFQ pulses pass the given node: the
+// instants the node phase crosses odd multiples of π (the midpoint of each
+// 2π slip, where the voltage pulse peaks).
+func (r *Result) PulseTimes(node int) []float64 {
+	var times []float64
+	next := math.Pi
+	for s := 1; s < len(r.Phases); s++ {
+		for r.Phases[s][node] >= next {
+			// Linear interpolation of the crossing instant.
+			p0, p1 := r.Phases[s-1][node], r.Phases[s][node]
+			frac := 0.0
+			if p1 != p0 {
+				frac = (next - p0) / (p1 - p0)
+			}
+			times = append(times, (float64(s-1)+frac)*r.Dt)
+			next += 2 * math.Pi
+		}
+	}
+	return times
+}
+
+// FinalPhase returns the last phase of the node.
+func (r *Result) FinalPhase(node int) float64 {
+	return r.Phases[len(r.Phases)-1][node]
+}
+
+// Slips returns how many complete 2π phase slips the node underwent.
+func (r *Result) Slips(node int) int {
+	return int(math.Floor((r.FinalPhase(node) + math.Pi) / (2 * math.Pi)))
+}
+
+// TotalBiasEnergy is the energy drawn from the bias network over the run.
+func (r *Result) TotalBiasEnergy() float64 {
+	return r.BiasEnergy[len(r.BiasEnergy)-1]
+}

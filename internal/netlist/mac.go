@@ -1,0 +1,92 @@
+package netlist
+
+import (
+	"fmt"
+
+	"supernpu/internal/sfq"
+)
+
+// MAC builds the gate-level netlist of the weight-stationary multiply-
+// accumulate datapath (Section III-B): NDRO weight registers (one plane per
+// register, steered by per-bit selectors when registers > 1), the bits×bits
+// AND partial-product array, a carry-save reduction array of full adders,
+// and the accBits-wide partial-sum accumulation row.
+//
+// The carry edges of the reduction and accumulation are annotated with the
+// reconvergent fan-in wiring (splitter, two confluence buffers, one JTL)
+// whose arrival mismatch clock skewing cannot remove — the pair that pins
+// the unit, and hence the NPU, at ≈52.6 GHz.
+func MAC(bits, accBits, registers int) *Graph {
+	g := New()
+
+	read := g.Input("read")
+	x := make([]NodeID, bits)
+	for j := range x {
+		x[j] = g.Input(fmt.Sprintf("x%d", j))
+	}
+	ps := make([]NodeID, accBits)
+	for j := range ps {
+		ps[j] = g.Input(fmt.Sprintf("ps%d", j))
+	}
+
+	// Weight register planes; with several registers a per-bit selector
+	// steers the active plane (multi-kernel execution, Section V-B3).
+	w := make([]NodeID, bits)
+	for i := 0; i < bits; i++ {
+		planes := make([]Conn, 0, registers)
+		for k := 0; k < registers; k++ {
+			planes = append(planes, From(g.Add(sfq.NDRO,
+				fmt.Sprintf("w%d.%d", k, i), From(read))))
+		}
+		if registers == 1 {
+			w[i] = planes[0].From
+			continue
+		}
+		w[i] = g.Add(sfq.MUXCell, fmt.Sprintf("wsel%d", i), planes...)
+	}
+
+	// Partial products.
+	pp := make([][]NodeID, bits)
+	for i := 0; i < bits; i++ {
+		pp[i] = make([]NodeID, bits)
+		for j := 0; j < bits; j++ {
+			pp[i][j] = g.Add(sfq.AND, fmt.Sprintf("pp%d_%d", i, j),
+				Via(x[j], sfq.Splitter),
+				Via(w[i], sfq.Splitter))
+		}
+	}
+
+	// Carry-save reduction: (bits−1) rows of bits full adders. Row i folds
+	// partial-product row i into the running sum/carry vectors.
+	critical := []sfq.GateKind{sfq.Splitter, sfq.Merger, sfq.Merger, sfq.JTL}
+	sum := pp[0]
+	carry := make([]NodeID, 0)
+	for i := 1; i < bits; i++ {
+		nsum := make([]NodeID, bits)
+		ncarry := make([]NodeID, bits)
+		for j := 0; j < bits; j++ {
+			fanin := []Conn{Via(sum[j], sfq.Splitter), From(pp[i][j])}
+			if j < len(carry) {
+				fanin = append(fanin, Via(carry[j], critical...))
+			}
+			fa := g.Add(sfq.FA, fmt.Sprintf("r%d_%d", i, j), fanin...)
+			nsum[j] = fa
+			ncarry[j] = fa
+		}
+		sum, carry = nsum, ncarry
+	}
+
+	// Accumulation: one parallel row of accBits full adders merging the
+	// reduced product into the incoming partial sum.
+	for j := 0; j < accBits; j++ {
+		fanin := []Conn{From(ps[j])}
+		if j < bits {
+			fanin = append(fanin, Via(sum[j], sfq.Splitter))
+		}
+		if j > 0 && j-1 < len(carry) {
+			fanin = append(fanin, Via(carry[j-1], critical...))
+		}
+		g.Add(sfq.FA, fmt.Sprintf("acc%d", j), fanin...)
+	}
+	return g
+}

@@ -1,0 +1,363 @@
+// Package npusim is the SFQ-NPU performance simulator of Section IV-B: a
+// cycle-based model that executes a DNN's weight mappings on an SFQ NPU
+// configuration and reports cycles, throughput, PE utilization and power.
+//
+// The simulator charges cycles for exactly the mechanics the paper
+// identifies as bottlenecks (Section V-A):
+//
+//   - preparation — weight loading, repositioning data inside
+//     shift-register buffers (a monolithic buffer must rotate its entire
+//     length; a divided buffer only one chunk), moving partial sums between
+//     separate psum/ofmap buffers (integration removes this), and
+//     bandwidth-limited DRAM traffic when a layer's batch does not fit
+//     on-chip; and
+//   - computation — the systolic array streaming B·E·F·K pixels per
+//     mapping, with pipeline fill and drain.
+package npusim
+
+import (
+	"fmt"
+
+	"supernpu/internal/arch"
+	"supernpu/internal/estimator"
+	"supernpu/internal/mapper"
+	"supernpu/internal/sfq"
+	"supernpu/internal/workload"
+)
+
+// BatchCap is the paper's conservative batch ceiling: Table II never sets a
+// batch above 30 even when the buffers would hold more ("there is room to
+// increase the batch size while improving performance").
+const BatchCap = 30
+
+// MaxBatch returns the largest batch size the design's on-chip buffers hold
+// for the network without additional off-chip memory access (Table II).
+//
+// Three constraints apply per layer:
+//   - a monolithic ifmap buffer dedicates one byte lane per input channel
+//     (Fig. 18(c)): B·H·W must fit one lane; a divided buffer spreads
+//     channels across chunks, so only the total capacity binds;
+//   - the output buffer dedicates one byte lane per PE column / filter
+//     (Fig. 18(b)): B·E·F must fit one lane;
+//   - the result is floored at 1 (a single input always runs, spilling to
+//     DRAM) and capped at BatchCap.
+func MaxBatch(cfg arch.Config, net workload.Network) int {
+	b := BatchCap
+	ifLane := cfg.IfmapBufBytes / cfg.ArrayHeight
+	outLane := cfg.OutputBufBytes / cfg.ArrayWidth
+	for _, l := range net.ComputeLayers() {
+		var bIn int
+		if cfg.IfmapChunks == 1 {
+			bIn = ifLane / (l.H * l.W)
+		} else {
+			bIn = cfg.IfmapBufBytes / (l.H * l.W * l.C)
+		}
+		bOut := outLane / (l.OutH() * l.OutW())
+		if bIn < b {
+			b = bIn
+		}
+		if bOut < b {
+			b = bOut
+		}
+	}
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+// layerFits reports whether the layer's batch-B activations stay on-chip.
+func layerFits(cfg arch.Config, l workload.Layer, batch int) bool {
+	var bIn int
+	if cfg.IfmapChunks == 1 {
+		bIn = cfg.IfmapBufBytes / cfg.ArrayHeight / (l.H * l.W)
+	} else {
+		bIn = cfg.IfmapBufBytes / (l.H * l.W * l.C)
+	}
+	bOut := cfg.OutputBufBytes / cfg.ArrayWidth / (l.OutH() * l.OutW())
+	return batch <= bIn && batch <= bOut
+}
+
+// LayerStats is the per-layer simulation outcome.
+type LayerStats struct {
+	Layer    workload.Layer
+	Mappings int
+
+	// Cycle breakdown (Fig. 15): computation vs the preparation classes.
+	ComputeCycles   int64
+	WeightCycles    int64 // weight loading into the array
+	IfmapMoveCycles int64 // shift-register repositioning of ifmap data
+	PsumMoveCycles  int64 // ofmap→psum inter-buffer movement
+	DRAMCycles      int64 // raw DRAM transfer cycles (overlappable)
+	StallCycles     int64 // DRAM cycles not hidden behind on-chip work
+
+	MACs int64
+	// BufferBytes counts on-chip buffer bytes streamed (energy model);
+	// DRAMBytes counts off-chip traffic.
+	BufferBytes int64
+	DRAMBytes   int64
+}
+
+// PrepCycles is the layer's total preparation time: on-chip data movement
+// plus the exposed part of the DRAM traffic. Transfers are double-buffered,
+// so only the portion that cannot hide behind on-chip activity stalls the
+// array.
+func (s LayerStats) PrepCycles() int64 {
+	return s.WeightCycles + s.IfmapMoveCycles + s.PsumMoveCycles + s.StallCycles
+}
+
+// TotalCycles is the layer's total time.
+func (s LayerStats) TotalCycles() int64 { return s.ComputeCycles + s.PrepCycles() }
+
+// resolveStalls computes the exposed DRAM stall after overlapping the raw
+// transfer cycles with every on-chip cycle of the layer.
+func (s *LayerStats) resolveStalls() {
+	onChip := s.ComputeCycles + s.WeightCycles + s.IfmapMoveCycles + s.PsumMoveCycles
+	if s.DRAMCycles > onChip {
+		s.StallCycles = s.DRAMCycles - onChip
+	} else {
+		s.StallCycles = 0
+	}
+}
+
+// Report is the simulation result for one network on one design.
+type Report struct {
+	Design  arch.Config
+	Network string
+	Batch   int
+
+	Frequency float64 // Hz, from the estimator
+	PeakMACs  float64 // MAC/s
+
+	Layers []LayerStats
+
+	TotalCycles   int64
+	ComputeCycles int64
+	PrepCycles    int64
+	MACs          int64
+
+	// Time is the batch latency in seconds; Throughput the effective
+	// MAC/s; PEUtilization effective/peak.
+	Time          float64
+	Throughput    float64
+	PEUtilization float64
+
+	// Power (W): static from the estimator; dynamic from activity.
+	StaticPower  float64
+	DynamicPower float64
+
+	// Trace is the access-trace analyzer output (Fig. 14): the per-unit
+	// activity counts the power model consumes.
+	Trace Trace
+	// Power is the dynamic power breakdown by source.
+	Power PowerBreakdown
+}
+
+// Trace aggregates the simulator's access trace: what each unit did over
+// the run.
+type Trace struct {
+	Mappings    int   // weight mappings executed
+	MACs        int64 // useful multiply-accumulates
+	BufferBytes int64 // on-chip buffer bytes streamed (ifmap + output)
+	DRAMBytes   int64 // off-chip traffic
+	DAUPixels   int64 // pixels delivered through the data alignment unit
+	WeightLoads int64 // weight-shift cycles into the array
+}
+
+// PowerBreakdown splits the dynamic power by switching source.
+type PowerBreakdown struct {
+	Clock  float64 // clock distribution pulsing every clocked PE cell
+	MAC    float64 // datapath switching
+	Buffer float64 // shift-register bit movement
+	DAU    float64 // selection and delay-cascade switching
+}
+
+// Total is the summed dynamic power.
+func (p PowerBreakdown) Total() float64 { return p.Clock + p.MAC + p.Buffer + p.DAU }
+
+// TotalPower is static plus dynamic chip power (cooling excluded).
+func (r *Report) TotalPower() float64 { return r.StaticPower + r.DynamicPower }
+
+// PrepFraction is preparation cycles over total cycles (Fig. 15).
+func (r *Report) PrepFraction() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.PrepCycles) / float64(r.TotalCycles)
+}
+
+// cyclesPerByte converts DRAM bytes into NPU cycles at frequency f.
+func cyclesPerByte(f, bandwidth float64) float64 { return f / bandwidth }
+
+// simulateLayer runs the weight-mapping loop of one layer.
+func simulateLayer(cfg arch.Config, l workload.Layer, batch int, cpb float64) LayerStats {
+	st := LayerStats{Layer: l}
+	if l.Kind == workload.Pool {
+		return st
+	}
+
+	ifBuf, outBuf := cfg.IfmapBuf(), cfg.OutputBuf()
+	fits := layerFits(cfg, l, batch)
+	ef := int64(l.OutH() * l.OutW())
+	peStages := cfg.PECfg().PipelineStages()
+
+	for _, t := range mapper.Tiles(l, cfg.ArrayHeight, cfg.ArrayWidth, cfg.Registers) {
+		st.Mappings++
+
+		// Computation: the array streams B·E·F pixels, each presented
+		// `regs` consecutive cycles, plus pipeline fill and drain through
+		// the array's gate-level stages.
+		st.ComputeCycles += int64(batch)*ef*int64(t.Regs) + int64(t.Rows*peStages+t.Cols+t.Regs)
+
+		// Weights: stream from DRAM through the weight buffer, then shift
+		// down the columns (one pass per engaged register plane).
+		wBytes := int64(t.Rows) * int64(t.Filters)
+		st.WeightCycles += int64(t.Rows * t.Regs)
+		st.DRAMCycles += int64(float64(wBytes) * cpb)
+		st.DRAMBytes += wBytes
+
+		// Ifmap repositioning: the data consumed by the previous mapping
+		// must rotate back to the chunk head before it can stream again —
+		// a full-buffer rotation when monolithic, one chunk when divided.
+		st.IfmapMoveCycles += int64(ifBuf.RecirculateCycles())
+		st.BufferBytes += int64(batch) * int64(l.H*l.W*t.Channels)
+
+		// Partial-sum movement: continuing row tiles must re-inject the
+		// previous partial sums. Separate psum/ofmap buffers pay the
+		// inter-buffer walk (Fig. 16 ①); the integrated buffer just
+		// re-selects the chunk.
+		if !t.FirstRowTile && !cfg.IntegratedOutput {
+			st.PsumMoveCycles += int64(outBuf.InterBufferMoveCycles(cfg.PsumBuf(), cfg.PsumBufBytes))
+		}
+		st.BufferBytes += int64(batch) * ef * int64(t.Filters)
+
+		// Spilled activations: when the batch does not fit, every mapping
+		// re-fetches its ifmap slice from DRAM.
+		if !fits {
+			spill := int64(batch) * int64(l.H*l.W*t.Channels)
+			st.DRAMCycles += int64(float64(spill) * cpb)
+			st.DRAMBytes += spill
+		}
+
+		st.MACs += t.MACs(batch, ef)
+	}
+	return st
+}
+
+// Simulate runs the network at the given batch size on the design and
+// returns the full report. A batch of 0 selects MaxBatch automatically.
+func Simulate(cfg arch.Config, net workload.Network, batch int) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if batch == 0 {
+		batch = MaxBatch(cfg, net)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("npusim: batch %d must be positive", batch)
+	}
+	est, err := estimator.Estimate(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Design: cfg, Network: net.Name, Batch: batch,
+		Frequency: est.Frequency, PeakMACs: est.PeakMACs,
+		StaticPower: est.StaticPower,
+	}
+	cpb := cyclesPerByte(est.Frequency, cfg.MemoryBandwidth)
+
+	for i, l := range net.Layers {
+		if !l.ComputeLayer() {
+			continue
+		}
+		st := simulateLayer(cfg, l, batch, cpb)
+
+		// Layer input delivery: the first compute layer streams its
+		// inputs from DRAM; later layers transfer the previous output
+		// buffer contents into the ifmap buffer on-chip.
+		inBytes := int64(batch) * l.IfmapBytes()
+		if i == 0 {
+			st.DRAMCycles += int64(float64(inBytes) * cpb)
+			st.DRAMBytes += inBytes
+		} else {
+			width := minI(cfg.IfmapBuf().WidthBytes, cfg.OutputBuf().WidthBytes)
+			st.IfmapMoveCycles += inBytes / int64(width)
+			st.BufferBytes += inBytes
+		}
+		st.resolveStalls()
+		rep.Layers = append(rep.Layers, st)
+
+		rep.ComputeCycles += st.ComputeCycles
+		rep.PrepCycles += st.PrepCycles()
+		rep.MACs += st.MACs
+		rep.Trace.Mappings += st.Mappings
+		rep.Trace.BufferBytes += st.BufferBytes
+		rep.Trace.DRAMBytes += st.DRAMBytes
+		rep.Trace.WeightLoads += st.WeightCycles
+	}
+	// Final results drain to DRAM.
+	last := net.ComputeLayers()[len(net.ComputeLayers())-1]
+	outBytes := int64(batch) * last.OfmapBytes()
+	rep.PrepCycles += int64(float64(outBytes) * cpb)
+	rep.Trace.DRAMBytes += outBytes
+	rep.Trace.MACs = rep.MACs
+	rep.Trace.DAUPixels = rep.ComputeCycles * int64(cfg.ArrayHeight) / int64(cfg.PECfg().PipelineStages())
+
+	rep.TotalCycles = rep.ComputeCycles + rep.PrepCycles
+	rep.Time = float64(rep.TotalCycles) / est.Frequency
+	rep.Throughput = float64(rep.MACs) / rep.Time
+	rep.PEUtilization = rep.Throughput / est.PeakMACs
+	rep.Power = dynamicPower(cfg, est, rep)
+	rep.DynamicPower = rep.Power.Total()
+	return rep, nil
+}
+
+// dynamicPower models the chip's switching power over the run: the clock
+// network pulses every clocked cell of the PE array every cycle; MACs add
+// data switching; buffer traffic adds per-byte shift energy; the DAU adds
+// per-delivered-pixel energy.
+func dynamicPower(cfg arch.Config, est *estimator.Result, rep *Report) PowerBreakdown {
+	lib := sfq.NewLibrary(sfq.AIST10(), cfg.Tech)
+	pc := cfg.PECfg()
+	var p PowerBreakdown
+
+	// Clock distribution: one splitter pulse per clocked PE cell per cycle.
+	clockedPerPE := clockedCells(pc)
+	clockEnergyPerCycle := float64(cfg.PEs()) * float64(clockedPerPE) * lib.AccessEnergy(sfq.Splitter)
+	p.Clock = clockEnergyPerCycle * est.Frequency
+
+	// Data switching in the MACs.
+	p.MAC = float64(rep.MACs) / rep.Time * pc.MACEnergy(lib)
+
+	// Buffer streaming: eight bit-cells switch per byte moved in or out.
+	bitCell := lib.AccessEnergy(sfq.DFF) + lib.AccessEnergy(sfq.Splitter) + 2*lib.AccessEnergy(sfq.JTL)
+	p.Buffer = float64(rep.Trace.BufferBytes) / rep.Time * 8 * bitCell
+
+	// DAU delivery: one selected pixel per PE row per compute wavefront.
+	dauU, _ := est.Unit("DAU")
+	p.DAU = float64(rep.Trace.DAUPixels) / rep.Time * dauU.AccessEnergy
+
+	return p
+}
+
+// clockedCells counts the clocked cells of one PE (its clock-tree load).
+func clockedCells(pc interface{ Inventory() sfq.Inventory }) int {
+	inv := pc.Inventory()
+	n := 0
+	for _, k := range []sfq.GateKind{sfq.AND, sfq.FA, sfq.DFF, sfq.NDRO, sfq.MUXCell, sfq.XOR, sfq.OR, sfq.NOT, sfq.DFFB} {
+		n += inv[k]
+	}
+	return n
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

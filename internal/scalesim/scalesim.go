@@ -1,0 +1,149 @@
+// Package scalesim is a cycle-based model of a conventional CMOS
+// weight-stationary systolic DNN accelerator — the SCALE-SIM-equivalent the
+// paper uses to estimate the TPU core it compares SuperNPU against
+// (Section VI-A): a 256×256 PE array at 0.7 GHz with a 24 MB unified SRAM
+// buffer, 300 GB/s of HBM bandwidth and 40 W average power.
+//
+// The mapping loop mirrors the SFQ simulator's, but SRAM removes the
+// shift-register mechanics: no repositioning rotations, no inter-buffer
+// psum walks — the CMOS design's buffers are random access.
+package scalesim
+
+import (
+	"fmt"
+
+	"supernpu/internal/workload"
+)
+
+// Config describes the CMOS accelerator.
+type Config struct {
+	Name                    string
+	ArrayHeight, ArrayWidth int
+	Frequency               float64 // Hz
+	BufferBytes             int64   // unified on-chip buffer
+	Bandwidth               float64 // bytes/s
+	Power                   float64 // average chip power (W)
+}
+
+// TPU returns the TPU-core configuration of Table I.
+func TPU() Config {
+	return Config{
+		Name:        "TPU",
+		ArrayHeight: 256, ArrayWidth: 256,
+		Frequency:   0.7e9,
+		BufferBytes: 24 << 20,
+		Bandwidth:   300e9,
+		Power:       40,
+	}
+}
+
+// PeakMACs is the array's peak MAC rate.
+func (c Config) PeakMACs() float64 {
+	return float64(c.ArrayHeight*c.ArrayWidth) * c.Frequency
+}
+
+// MaxBatch applies the paper's TPU batch rule: the whole batch's largest
+// per-layer working set must fit the unified buffer (Table II: AlexNet 22,
+// VGG16 3).
+func (c Config) MaxBatch(net workload.Network) int {
+	return net.MaxBatch(c.BufferBytes)
+}
+
+// Report is the simulation outcome.
+type Report struct {
+	Config  Config
+	Network string
+	Batch   int
+
+	TotalCycles   int64
+	ComputeCycles int64
+	// DRAMCycles is the raw transfer time; StallCycles the exposed part
+	// after overlapping transfers with computation (double buffering).
+	DRAMCycles  int64
+	StallCycles int64
+	MACs        int64
+
+	Time          float64
+	Throughput    float64 // effective MAC/s
+	PEUtilization float64
+}
+
+// Simulate runs the network at the given batch (0 = MaxBatch).
+func Simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if batch == 0 {
+		batch = cfg.MaxBatch(net)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("scalesim: batch %d must be positive", batch)
+	}
+	rep := &Report{Config: cfg, Network: net.Name, Batch: batch}
+	cpb := cfg.Frequency / cfg.Bandwidth
+	h, w := cfg.ArrayHeight, cfg.ArrayWidth
+
+	for i, l := range net.Layers {
+		if !l.ComputeLayer() {
+			continue
+		}
+		ef := int64(l.OutH() * l.OutW())
+		fits := int64(batch)*l.WorkingSetBytes() <= cfg.BufferBytes
+
+		type tile struct{ rows, filters, channels int }
+		var tiles []tile
+		if l.Kind == workload.DepthwiseConv {
+			for c := 0; c < l.C; c++ {
+				tiles = append(tiles, tile{rows: minI(l.R*l.S, h), filters: 1, channels: 1})
+			}
+		} else {
+			rsc := l.R * l.S * l.C
+			for rt := 0; rt < (rsc+h-1)/h; rt++ {
+				rows := minI(h, rsc-rt*h)
+				for m := 0; m < l.M; m += w {
+					tiles = append(tiles, tile{
+						rows: rows, filters: minI(w, l.M-m),
+						channels: (rows + l.R*l.S - 1) / (l.R * l.S),
+					})
+				}
+			}
+		}
+
+		var layerCompute, layerDRAM int64
+		for _, t := range tiles {
+			// Streaming compute plus array fill/drain and column loading.
+			layerCompute += int64(batch)*ef + int64(2*t.rows+t.filters)
+			// Weight fetch.
+			wBytes := int64(t.rows) * int64(t.filters)
+			layerDRAM += int64(float64(wBytes) * cpb)
+			// Spilled activations re-fetch per mapping.
+			if !fits {
+				spill := int64(batch) * int64(l.H*l.W*t.channels)
+				layerDRAM += int64(float64(spill) * cpb)
+			}
+			rep.MACs += int64(batch) * ef * int64(t.rows) * int64(t.filters)
+		}
+		// First layer's inputs arrive from DRAM.
+		if i == 0 {
+			layerDRAM += int64(float64(int64(batch)*l.IfmapBytes()) * cpb)
+		}
+		rep.ComputeCycles += layerCompute
+		rep.DRAMCycles += layerDRAM
+		if layerDRAM > layerCompute {
+			rep.StallCycles += layerDRAM - layerCompute
+		}
+	}
+
+	rep.TotalCycles = rep.ComputeCycles + rep.StallCycles
+	rep.Time = float64(rep.TotalCycles) / cfg.Frequency
+	rep.Throughput = float64(rep.MACs) / rep.Time
+	rep.PEUtilization = rep.Throughput / cfg.PeakMACs()
+	return rep, nil
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

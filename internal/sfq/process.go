@@ -1,0 +1,124 @@
+package sfq
+
+import "fmt"
+
+// Technology selects how DC bias current is supplied to each Josephson
+// junction, the single difference between the two SFQ families the paper
+// models (Section IV-A1).
+type Technology int
+
+const (
+	// RSFQ (rapid single-flux-quantum) biases every JJ through a resistor.
+	// It is the proven, fabricated technology but dissipates static power
+	// in every bias resistor.
+	RSFQ Technology = iota
+	// ERSFQ (energy-efficient RSFQ) replaces bias resistors with bias JJs
+	// and inductors: zero static power, but roughly twice the JJ count on
+	// the bias network and therefore twice the dynamic switching energy.
+	ERSFQ
+)
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case RSFQ:
+		return "RSFQ"
+	case ERSFQ:
+		return "ERSFQ"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// Process describes a superconductor fabrication process. The repository
+// default is the AIST 1.0 µm Nb 9-layer process used throughout the paper.
+type Process struct {
+	Name        string
+	FeatureSize float64 // junction feature size in metres
+	// BiasVoltage is the DC bias rail voltage (RSFQ).
+	BiasVoltage float64 // volts
+	// BiasCurrentPerJJ is the average DC bias current drawn per junction.
+	BiasCurrentPerJJ float64 // amperes
+	// CriticalCurrent is the representative junction critical current Ic.
+	CriticalCurrent float64 // amperes
+	// AreaPerJJ is the average laid-out cell area amortised per junction,
+	// including wiring and moats, at this process's feature size.
+	AreaPerJJ float64 // m²
+	// SwitchEnergyPerJJ is the energy released by a single 2π phase slip,
+	// of order Ic·Φ0.
+	SwitchEnergyPerJJ float64 // joules
+	// TimingScale multiplies every cell delay/setup/hold relative to the
+	// AIST 1.0 µm reference library. Kadin et al. (the paper's [41]) give
+	// the scaling rule: frequency grows in proportion to the JJ size
+	// reduction, valid down to ~200 nm.
+	TimingScale float64
+}
+
+// ScalingFloor is the smallest junction feature size for which the linear
+// frequency-scaling rule holds (~200 nm, the paper's footnote 2).
+const ScalingFloor = 200e-9
+
+// ScaledTo returns the process scaled to the target feature size under the
+// linear rule: timing and per-JJ switching energy and bias current shrink
+// with the feature size, area quadratically. Scaling below the 200 nm
+// validity floor is clamped.
+func (p Process) ScaledTo(target float64) Process {
+	if target < ScalingFloor {
+		target = ScalingFloor
+	}
+	r := target / p.FeatureSize
+	out := p
+	out.Name = p.Name + " (scaled)"
+	out.FeatureSize = target
+	out.BiasCurrentPerJJ *= r
+	out.AreaPerJJ *= r * r
+	out.SwitchEnergyPerJJ *= r
+	if out.TimingScale == 0 {
+		out.TimingScale = 1
+	}
+	out.TimingScale *= r
+	return out
+}
+
+// timingScale returns the effective timing multiplier (zero value = 1).
+func (p Process) timingScale() float64 {
+	if p.TimingScale == 0 {
+		return 1
+	}
+	return p.TimingScale
+}
+
+// AIST10 returns the AIST 1.0 µm Nb 9-layer process (ADP2/CRAVITY), the
+// fabrication input used for every result in the paper. The constants are
+// calibrated so that the cell library reproduces the paper's published gate
+// rows (AND: 3.6 µW static, 1.4 aJ dynamic) and so that the architecture
+// level area and static power land on Table I / Table III values.
+func AIST10() Process {
+	return Process{
+		Name:              "AIST 1.0um Nb 9-layer",
+		FeatureSize:       1.0 * Micrometre,
+		BiasVoltage:       2.6e-3,  // 2.6 mV bias rail
+		BiasCurrentPerJJ:  66.5e-6, // ~0.67×Ic average bias per JJ
+		CriticalCurrent:   100e-6,  // 100 µA representative Ic
+		AreaPerJJ:         62.5 * SquareMicrometre,
+		SwitchEnergyPerJJ: 2.067833848e-15 * 100e-6 * 0.68, // ≈0.14 aJ = α·Ic·Φ0
+	}
+}
+
+// StaticPowerPerJJ is the DC bias dissipation of one junction under RSFQ
+// biasing: P = V_bias × I_bias. ERSFQ eliminates it entirely.
+func (p Process) StaticPowerPerJJ(tech Technology) float64 {
+	if tech == ERSFQ {
+		return 0
+	}
+	return p.BiasVoltage * p.BiasCurrentPerJJ
+}
+
+// ScaleAreaTo reports the factor that converts an area laid out at this
+// process's feature size to an equivalent layout at feature size target.
+// The paper uses this to express SFQ chip areas in 28 nm CMOS-equivalent
+// square millimetres for the TPU comparison (Table I, footnote 2).
+func (p Process) ScaleAreaTo(target float64) float64 {
+	r := target / p.FeatureSize
+	return r * r
+}

@@ -1,0 +1,32 @@
+// Package sfq models superconductor single-flux-quantum (SFQ) logic at the
+// device and gate level: Josephson-junction parameters, the RSFQ/ERSFQ cell
+// library for the AIST 1.0 µm fabrication process, and the JJ-count based
+// area and static-power models the SuperNPU estimator builds on.
+//
+// All physical quantities use SI base units (seconds, watts, joules, square
+// metres) stored in float64; the helper constants below keep call sites
+// readable (e.g. 8.3*sfq.Picosecond).
+package sfq
+
+// Time, power, energy and length scale constants in SI units.
+const (
+	Picosecond = 1e-12 // seconds
+	Nanosecond = 1e-9  // seconds
+
+	Microwatt = 1e-6 // watts
+	Milliwatt = 1e-3 // watts
+
+	Attojoule = 1e-18 // joules
+
+	GHz = 1e9 // hertz
+
+	Micrometre = 1e-6 // metres
+
+	// SquareMicrometre and SquareMillimetre convert areas to SI m².
+	SquareMicrometre = 1e-12 // m²
+	SquareMillimetre = 1e-6  // m²
+)
+
+// FluxQuantum is the magnetic flux quantum Φ0 = h/2e in webers. A stored Φ0
+// in a superconductor ring is the information carrier of SFQ logic.
+const FluxQuantum = 2.067833848e-15 // Wb

@@ -1,0 +1,59 @@
+package srmem
+
+import (
+	"testing"
+)
+
+// FuzzMemoryShift drives the functional shift register with an arbitrary
+// push/idle script against a trivial reference model: a fixed-length slot
+// pipeline where every shift moves all slots by one. Opcode 0xFF is an idle
+// shift (invalid slot in); anything else pushes that byte.
+func FuzzMemoryShift(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0xFF, 4}, uint8(4))
+	f.Add([]byte{0x30, 0xFF, 0x30}, uint8(1))
+	f.Add([]byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, script []byte, n8 uint8) {
+		n := 1 + int(n8)%32
+		m := NewMemory(n, 1)
+
+		// Reference: slots[0] is the head (newest), slots[n-1] the tail.
+		type slot struct {
+			v     byte
+			valid bool
+		}
+		slots := make([]slot, n)
+
+		for i, op := range script {
+			var in []byte
+			want := slots[n-1]
+			// Shift the model (backwards: head value must not smear).
+			for j := n - 1; j >= 1; j-- {
+				slots[j] = slots[j-1]
+			}
+			if op == 0xFF {
+				slots[0] = slot{}
+			} else {
+				in = []byte{op}
+				slots[0] = slot{v: op, valid: true}
+			}
+
+			out, valid := m.Shift(in)
+			if valid != want.valid {
+				t.Fatalf("op %d: valid=%v, want %v", i, valid, want.valid)
+			}
+			if valid && out[0] != want.v {
+				t.Fatalf("op %d: out=%d, want %d", i, out[0], want.v)
+			}
+			// Peek must agree with the model at every index.
+			for j := 0; j < n; j++ {
+				got, ok := m.Peek(j)
+				if ok != slots[j].valid {
+					t.Fatalf("op %d: Peek(%d) valid=%v, want %v", i, j, ok, slots[j].valid)
+				}
+				if ok && got[0] != slots[j].v {
+					t.Fatalf("op %d: Peek(%d)=%d, want %d", i, j, got[0], slots[j].v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package srmem
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"supernpu/internal/sfq"
+)
+
+func lib() *sfq.Library { return sfq.NewLibrary(sfq.AIST10(), sfq.RSFQ) }
+
+const mb = 1 << 20
+
+// The paper's Fig. 16 example: moving partial sums between the 8 MB ofmap
+// and 8 MB psum buffers (256 B/cycle each) costs 65,536 cycles in the
+// Baseline — 16 MB ÷ 256 B/cycle.
+func TestFig16InterBufferMoveCost(t *testing.T) {
+	ofmap := Config{WidthBytes: 256, CapacityBytes: 8 * mb, Chunks: 1}
+	psum := Config{WidthBytes: 256, CapacityBytes: 8 * mb, Chunks: 1}
+	if got := ofmap.InterBufferMoveCycles(psum, 8*mb); got != 65536 {
+		t.Fatalf("inter-buffer move = %d cycles, want 65536", got)
+	}
+}
+
+func TestDivisionShortensRecirculation(t *testing.T) {
+	base := Config{WidthBytes: 256, CapacityBytes: 8 * mb, Chunks: 1}
+	div := base
+	div.Chunks = 64
+	if base.RecirculateCycles() != 32768 {
+		t.Fatalf("monolithic recirculation = %d, want 32768", base.RecirculateCycles())
+	}
+	if got := div.RecirculateCycles(); got != 512 {
+		t.Fatalf("divided recirculation = %d, want 512", got)
+	}
+}
+
+func TestFillDrainCycles(t *testing.T) {
+	c := Config{WidthBytes: 64, CapacityBytes: mb, Chunks: 4}
+	if c.FillCycles(640) != 10 || c.DrainCycles(640) != 10 {
+		t.Fatal("fill/drain must cost bytes/width cycles")
+	}
+	if c.FillCycles(1) != 1 {
+		t.Fatal("partial entries round up")
+	}
+	if c.FillCycles(0) != 0 {
+		t.Fatal("zero bytes cost zero cycles")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Config{WidthBytes: 64, CapacityBytes: mb, Chunks: 16}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{WidthBytes: 0, CapacityBytes: mb, Chunks: 1},
+		{WidthBytes: 64, CapacityBytes: 0, Chunks: 1},
+		{WidthBytes: 64, CapacityBytes: mb, Chunks: 0},
+		{WidthBytes: 64, CapacityBytes: 128, Chunks: 64}, // chunks too fine
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("Validate must reject %+v", bad)
+		}
+	}
+}
+
+// Shift-register buffers are feedback loops → counter-flow clocked at
+// ~71 GHz (Fig. 7c), still above the 52.6 GHz NPU clock.
+func TestCounterFlowFrequency(t *testing.T) {
+	f := Frequency(lib()) / sfq.GHz
+	if math.Abs(f-71) > 3 {
+		t.Fatalf("buffer frequency = %.1f GHz, want ~71", f)
+	}
+}
+
+func TestDivisionAreaOverhead(t *testing.T) {
+	l := lib()
+	mono := Config{WidthBytes: 256, CapacityBytes: 12 * mb, Chunks: 1}
+	div64 := mono
+	div64.Chunks = 64
+	div4096 := mono
+	div4096.Chunks = 4096
+
+	a1, a64, a4096 := mono.Area(l), div64.Area(l), div4096.Area(l)
+	if !(a1 < a64 && a64 < a4096) {
+		t.Fatal("area must grow with division degree")
+	}
+	// Division 64 is cheap (a few percent); 4096 is not (Fig. 20).
+	if (a64-a1)/a1 > 0.05 {
+		t.Errorf("division 64 overhead = %.1f%%, want < 5%%", (a64-a1)/a1*100)
+	}
+	if (a4096-a1)/a1 < 0.10 {
+		t.Errorf("division 4096 overhead = %.1f%%, want noticeable (> 10%%)", (a4096-a1)/a1*100)
+	}
+}
+
+func TestChunkShiftEnergyShrinksWithDivision(t *testing.T) {
+	l := lib()
+	mono := Config{WidthBytes: 256, CapacityBytes: 8 * mb, Chunks: 1}
+	div := mono
+	div.Chunks = 64
+	em, ed := mono.ChunkShiftEnergy(l), div.ChunkShiftEnergy(l)
+	if math.Abs(em/ed-64) > 0.01 {
+		t.Fatalf("64-way division must cut per-access energy 64×, got %.2f×", em/ed)
+	}
+}
+
+func TestMemoryFIFOOrder(t *testing.T) {
+	m := NewMemory(4, 2)
+	inputs := [][]byte{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	for _, in := range inputs {
+		if _, valid := m.Shift(in); valid {
+			t.Fatal("empty register must emit invalid entries while filling")
+		}
+	}
+	for i, want := range inputs {
+		out, valid := m.Shift(nil)
+		if !valid || !bytes.Equal(out, want) {
+			t.Fatalf("drain %d: got %v (valid=%v), want %v", i, out, valid, want)
+		}
+	}
+	if _, valid := m.Shift(nil); valid {
+		t.Fatal("register must be empty after full drain")
+	}
+}
+
+func TestMemoryRecirculation(t *testing.T) {
+	m := NewMemory(3, 1)
+	for _, b := range []byte{10, 20, 30} {
+		m.Shift([]byte{b})
+	}
+	// One recirculating shift: the tail (10) re-enters at the head.
+	out, valid := m.Shift(nil)
+	if !valid || out[0] != 10 {
+		t.Fatalf("tail = %v (valid=%v), want 10", out, valid)
+	}
+	m.shiftBack(out)
+	head, ok := m.Peek(0)
+	if !ok || head[0] != 10 {
+		t.Fatalf("recirculated entry must be at the head, got %v", head)
+	}
+	next, ok := m.Peek(1)
+	if !ok || next[0] != 30 {
+		t.Fatalf("order after recirculation wrong (head is newest), got %v at index 1", next)
+	}
+}
+
+// shiftBack is a test helper modelling the feedback loop: it replaces the
+// invalid head slot the previous Shift(nil) created with the tail value.
+func (m *Memory) shiftBack(v []byte) {
+	copy(m.entries[m.head], v)
+	m.valid[m.head] = true
+}
+
+// Property: after exactly Len() recirculating shifts (tail fed back to
+// head), the memory content returns to its original order — the feedback
+// loop of Fig. 2(b) is a rotation.
+func TestRecirculationRotationProperty(t *testing.T) {
+	f := func(raw []byte, n8 uint8) bool {
+		n := 1 + int(n8)%16
+		m := NewMemory(n, 1)
+		vals := make([]byte, n)
+		for i := 0; i < n; i++ {
+			if i < len(raw) {
+				vals[i] = raw[i]
+			}
+			m.Shift([]byte{vals[i]})
+		}
+		// One full rotation via the feedback loop.
+		for i := 0; i < n; i++ {
+			out, valid := m.Shift(nil)
+			if !valid {
+				return false
+			}
+			m.shiftBack(out)
+		}
+		// Contents must be back in the post-fill order: head (index 0)
+		// holds the newest value, the tail the oldest.
+		for i := 0; i < n; i++ {
+			got, valid := m.Peek(i)
+			if !valid || got[0] != vals[n-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fill/drain cycle costs are consistent — filling n bytes then
+// draining them costs 2·ceil(n/width) cycles, independent of division.
+func TestFillDrainSymmetryProperty(t *testing.T) {
+	f := func(n uint16, w8, chunks8 uint8) bool {
+		w := 1 + int(w8)%512
+		chunks := 1 + int(chunks8)%8
+		c := Config{WidthBytes: w, CapacityBytes: w * chunks * 64, Chunks: chunks}
+		nb := int(n)
+		want := (nb + w - 1) / w
+		return c.FillCycles(nb) == want && c.DrainCycles(nb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryPanicsAndPeekBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMemory must panic on non-positive geometry")
+		}
+	}()
+	m := NewMemory(4, 2)
+	if _, ok := m.Peek(-1); ok {
+		t.Fatal("Peek out of range must report false")
+	}
+	if _, ok := m.Peek(4); ok {
+		t.Fatal("Peek out of range must report false")
+	}
+	if m.Width() != 2 || m.Len() != 4 {
+		t.Fatal("geometry accessors wrong")
+	}
+	NewMemory(0, 1)
+}
+
+func TestShiftWidthMismatchPanics(t *testing.T) {
+	m := NewMemory(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shift must panic on wrong entry width")
+		}
+	}()
+	m.Shift([]byte{1})
+}

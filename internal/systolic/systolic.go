@@ -1,0 +1,307 @@
+// Package systolic is the functional, cycle-stepped model of the SuperNPU
+// datapath: a weight-stationary 2D systolic PE array (Section III) fed by
+// the data alignment unit. It computes real 8-bit convolutions cycle by
+// cycle — ifmap pixels march right through the store-and-forward network,
+// partial sums march down — and is verified against a direct convolution.
+//
+// The model exists for correctness: it proves the dataflow (weight mapping,
+// DAU selection, timing skew, multi-register interleaving) computes exactly
+// the layer it claims to. The performance simulator (internal/npusim)
+// charges cycles for the same mechanics without moving data.
+package systolic
+
+import (
+	"fmt"
+
+	"supernpu/internal/dau"
+	"supernpu/internal/mapper"
+	"supernpu/internal/pe"
+	"supernpu/internal/workload"
+)
+
+// Weights holds a layer's filters as [m][c][r][s] int8.
+type Weights [][][][]int8
+
+// NewWeights allocates zeroed filters.
+func NewWeights(m, c, r, s int) Weights {
+	w := make(Weights, m)
+	for i := range w {
+		w[i] = make([][][]int8, c)
+		for j := range w[i] {
+			w[i][j] = make([][]int8, r)
+			for k := range w[i][j] {
+				w[i][j][k] = make([]int8, s)
+			}
+		}
+	}
+	return w
+}
+
+// Ofmap is an output feature map in [m][e][f] layout with full-precision
+// partial sums.
+type Ofmap [][][]int32
+
+// NewOfmap allocates a zeroed output map.
+func NewOfmap(m, e, f int) Ofmap {
+	o := make(Ofmap, m)
+	for i := range o {
+		o[i] = make([][]int32, e)
+		for j := range o[i] {
+			o[i][j] = make([]int32, f)
+		}
+	}
+	return o
+}
+
+// Reference computes the layer directly — the golden model the systolic
+// array is checked against.
+func Reference(l workload.Layer, w Weights, in dau.Ifmap) Ofmap {
+	e, f := l.OutH(), l.OutW()
+	out := NewOfmap(l.M, e, f)
+	for m := 0; m < l.M; m++ {
+		for oe := 0; oe < e; oe++ {
+			for of := 0; of < f; of++ {
+				var acc int32
+				for c := 0; c < l.C; c++ {
+					wc := c
+					ic := c
+					if l.Kind == workload.DepthwiseConv {
+						if c != m%l.C { // depthwise: filter m reads only channel m
+							continue
+						}
+						wc = 0
+						ic = m
+					}
+					for r := 0; r < l.R; r++ {
+						ih := oe*l.Stride - l.Pad + r
+						if ih < 0 || ih >= l.H {
+							continue
+						}
+						for s := 0; s < l.S; s++ {
+							iw := of*l.Stride - l.Pad + s
+							if iw < 0 || iw >= l.W {
+								continue
+							}
+							acc += int32(w[m][wc][r][s]) * int32(in[ic][ih][iw])
+						}
+					}
+				}
+				out[m][oe][of] = acc
+			}
+		}
+	}
+	return out
+}
+
+// Array is one weight-stationary systolic PE array instance.
+type Array struct {
+	Rows, Cols int
+	Regs       int // weight registers per PE (SuperNPU: 8)
+	macs       [][]*pe.MAC
+}
+
+// NewArray builds a rows×cols array of PEs with regs weight registers each.
+func NewArray(rows, cols, regs int) (*Array, error) {
+	if rows <= 0 || cols <= 0 || regs <= 0 {
+		return nil, fmt.Errorf("systolic: array dimensions must be positive (rows=%d cols=%d regs=%d)",
+			rows, cols, regs)
+	}
+	a := &Array{Rows: rows, Cols: cols, Regs: regs}
+	a.macs = make([][]*pe.MAC, rows)
+	cfg := pe.Default8Bit(regs)
+	for r := range a.macs {
+		a.macs[r] = make([]*pe.MAC, cols)
+		for c := range a.macs[r] {
+			a.macs[r][c] = pe.NewMAC(cfg)
+		}
+	}
+	return a, nil
+}
+
+// Stats reports what one Run consumed.
+type Stats struct {
+	Cycles   int64 // cycle-stepped simulation cycles
+	MACs     int64 // useful multiply-accumulates performed
+	Mappings int   // weight-mapping tiles executed
+}
+
+// Run executes one full layer on the array for a single input image and
+// returns the output feature map with execution statistics. It tiles the
+// layer's (R·S·C) weight positions over the array height and its M filters
+// over the array width × registers, accumulating partial results across row
+// tiles — exactly the weight-mapping procedure of the performance
+// simulator.
+func (a *Array) Run(l workload.Layer, w Weights, in dau.Ifmap) (Ofmap, Stats, error) {
+	if err := l.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if l.Kind == workload.DepthwiseConv {
+		return a.runDepthwise(l, w, in)
+	}
+	e, f := l.OutH(), l.OutW()
+	out := NewOfmap(l.M, e, f)
+	var st Stats
+
+	lastRowOff := -1
+	var assigns []dau.Assignment
+	var streams [][]int8
+	for _, t := range mapper.Tiles(l, a.Rows, a.Cols, a.Regs) {
+		if t.RowOffset != lastRowOff {
+			assigns = dau.RowAssignments(l, t.RowOffset, a.Rows)
+			unit, err := dau.New(l, assigns)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			streams = unit.Streams(in)
+			lastRowOff = t.RowOffset
+		}
+		a.loadWeights(l, w, assigns, t.ColBase, t.Cols, t.Regs)
+		st.Cycles += a.tile(streams, assigns, t.ColBase, t.Cols, t.Regs, l.M, out)
+		st.MACs += t.MACs(1, int64(e*f))
+		st.Mappings++
+	}
+	return out, st, nil
+}
+
+// filterIndex maps (tile base, active column count, column, register) to
+// the global filter index, or -1 past the layer's filter count.
+func filterIndex(base, cols, col, reg, m int) int {
+	idx := base + reg*cols + col
+	if idx >= m {
+		return -1
+	}
+	return idx
+}
+
+// loadWeights makes each PE's register bank resident: PE (r, c) register k
+// holds filter filterIndex(base,c,k)'s weight at the row's assigned
+// position. Only the tile's engaged register planes are loaded.
+func (a *Array) loadWeights(l workload.Layer, w Weights, assigns []dau.Assignment, base, cols, regs int) {
+	for r := range assigns {
+		as := assigns[r]
+		for c := 0; c < cols; c++ {
+			for k := 0; k < regs; k++ {
+				m := filterIndex(base, cols, c, k, l.M)
+				v := int8(0)
+				if m >= 0 {
+					v = w[m][as.C][as.R][as.S]
+				}
+				a.macs[r][c].LoadWeight(k, v)
+			}
+		}
+	}
+}
+
+// tile runs the cycle-stepped simulation of one weight mapping. Row r's
+// stream enters with a skew of r cycles (the DAU's cascaded DFFs); with K
+// registers every pixel is presented K consecutive cycles against K
+// different resident filters. Ifmap values shift one column right per
+// cycle; partial sums shift one row down per cycle and are collected at the
+// bottom edge.
+func (a *Array) tile(streams [][]int8, assigns []dau.Assignment, base, cols, regs, m int, out Ofmap) int64 {
+	rows := len(assigns)
+	k := regs
+	ef := len(streams[0])
+	lastInject := (rows - 1) + k*(ef-1) + (k - 1)
+	totalCycles := lastInject + rows + cols // drain the deepest wave
+
+	xin := make([][]int8, rows+1)
+	ps := make([][]int32, rows+1)
+	for i := range xin {
+		xin[i] = make([]int8, cols+1)
+		ps[i] = make([]int32, cols+1)
+	}
+	nx := make([][]int8, rows+1)
+	nps := make([][]int32, rows+1)
+	for i := range nx {
+		nx[i] = make([]int8, cols+1)
+		nps[i] = make([]int32, cols+1)
+	}
+
+	f := len(out[0][0])
+	for t := 0; t <= totalCycles; t++ {
+		// Inject this cycle's stream element at each row's left edge.
+		for r := 0; r < rows; r++ {
+			q := t - r
+			xin[r][0] = 0
+			if q >= 0 && q/k < ef {
+				xin[r][0] = streams[r][q/k]
+			}
+		}
+		// Every PE computes and forwards.
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				reg := ((t-r-c)%k + k) % k
+				psIn := int32(0)
+				if r > 0 {
+					psIn = ps[r][c]
+				}
+				o := a.macs[r][c].Step(reg, xin[r][c], psIn)
+				nps[r+1][c] = o
+				nx[r][c+1] = xin[r][c]
+			}
+		}
+		// Collect the bottom edge: the completed column sums.
+		for c := 0; c < cols; c++ {
+			q := t - rows - c + 1
+			if q < 0 {
+				continue
+			}
+			p, reg := q/k, q%k
+			if p >= ef {
+				continue
+			}
+			fi := filterIndex(base, cols, c, reg, m)
+			if fi < 0 {
+				continue
+			}
+			out[fi][p/f][p%f] += nps[rows][c]
+		}
+		// Advance the pipeline registers.
+		for r := range nx {
+			copy(xin[r][1:], nx[r][1:])
+			copy(ps[r], nps[r])
+		}
+	}
+	return int64(totalCycles + 1)
+}
+
+// runDepthwise executes a depthwise layer channel by channel: each filter
+// touches only its own channel, so a weight mapping can use at most R·S
+// rows and one column per channel — the structural reason depthwise layers
+// underutilise a systolic array.
+func (a *Array) runDepthwise(l workload.Layer, w Weights, in dau.Ifmap) (Ofmap, Stats, error) {
+	e, f := l.OutH(), l.OutW()
+	out := NewOfmap(l.M, e, f)
+	var st Stats
+	for ch := 0; ch < l.C; ch++ {
+		sub := workload.Layer{
+			Name: l.Name, Kind: workload.Conv,
+			H: l.H, W: l.W, C: 1, R: l.R, S: l.S, M: 1,
+			Stride: l.Stride, Pad: l.Pad,
+		}
+		subIn := dau.Ifmap{in[ch]}
+		subW := NewWeights(1, 1, l.R, l.S)
+		for r := 0; r < l.R; r++ {
+			copy(subW[0][0][r], w[ch][0][r])
+		}
+		subOut, subSt, err := a.Run(sub, subW, subIn)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		for oe := 0; oe < e; oe++ {
+			copy(out[ch][oe], subOut[0][oe])
+		}
+		st.Cycles += subSt.Cycles
+		st.MACs += subSt.MACs
+		st.Mappings += subSt.Mappings
+	}
+	return out, st, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"supernpu/internal/dau"
+	"supernpu/internal/workload"
+)
+
+func randomIfmap(rng *rand.Rand, c, h, w int) dau.Ifmap {
+	m := dau.NewIfmap(c, h, w)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				m[ci][y][x] = int8(rng.Intn(256) - 128)
+			}
+		}
+	}
+	return m
+}
+
+func randomWeights(rng *rand.Rand, l workload.Layer) Weights {
+	c := l.C
+	if l.Kind == workload.DepthwiseConv {
+		c = 1
+	}
+	w := NewWeights(l.M, c, l.R, l.S)
+	for m := range w {
+		for ci := range w[m] {
+			for r := range w[m][ci] {
+				for s := range w[m][ci][r] {
+					w[m][ci][r][s] = int8(rng.Intn(256) - 128)
+				}
+			}
+		}
+	}
+	return w
+}
+
+func equalOfmap(a, b Ofmap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for m := range a {
+		for e := range a[m] {
+			for f := range a[m][e] {
+				if a[m][e][f] != b[m][e][f] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// checkLayer runs the layer on the array and compares against the golden
+// convolution, also asserting the MAC accounting matches the layer's count.
+func checkLayer(t *testing.T, arr *Array, l workload.Layer, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	in := randomIfmap(rng, l.C, l.H, l.W)
+	w := randomWeights(rng, l)
+	got, st, err := arr.Run(l, w, in)
+	if err != nil {
+		t.Fatalf("%s: %v", l.Name, err)
+	}
+	want := Reference(l, w, in)
+	if !equalOfmap(got, want) {
+		t.Fatalf("%s: systolic output differs from golden convolution", l.Name)
+	}
+	if st.MACs != l.MACs() {
+		t.Fatalf("%s: accounted MACs = %d, want %d", l.Name, st.MACs, l.MACs())
+	}
+	if st.Cycles <= 0 || st.Mappings <= 0 {
+		t.Fatalf("%s: implausible stats %+v", l.Name, st)
+	}
+}
+
+func TestSingleTileConv(t *testing.T) {
+	arr, err := NewArray(16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := workload.Layer{Name: "small", Kind: workload.Conv,
+		H: 6, W: 6, C: 1, R: 3, S: 3, M: 4, Stride: 1, Pad: 1}
+	checkLayer(t, arr, l, 1)
+}
+
+func TestMultiRowTileAccumulation(t *testing.T) {
+	// R·S·C = 36 > 16 rows: partial sums must accumulate across row tiles.
+	arr, _ := NewArray(16, 8, 1)
+	l := workload.Layer{Name: "rowtiles", Kind: workload.Conv,
+		H: 5, W: 5, C: 4, R: 3, S: 3, M: 3, Stride: 1, Pad: 1}
+	checkLayer(t, arr, l, 2)
+}
+
+func TestMultiColumnTiles(t *testing.T) {
+	// M = 20 > 8 columns: several column tiles.
+	arr, _ := NewArray(9, 8, 1)
+	l := workload.Layer{Name: "coltiles", Kind: workload.Conv,
+		H: 4, W: 4, C: 1, R: 3, S: 3, M: 20, Stride: 1, Pad: 1}
+	checkLayer(t, arr, l, 3)
+}
+
+func TestMultiRegisterInterleaving(t *testing.T) {
+	// 4 weight registers per PE: one pixel drives 4 filters (Section V-B3).
+	arr, _ := NewArray(9, 4, 4)
+	l := workload.Layer{Name: "regs", Kind: workload.Conv,
+		H: 5, W: 5, C: 1, R: 3, S: 3, M: 16, Stride: 1, Pad: 1}
+	checkLayer(t, arr, l, 4)
+	// And with a filter count that does not divide evenly.
+	l.M = 13
+	checkLayer(t, arr, l, 5)
+}
+
+func TestStride2AndAsymmetricPads(t *testing.T) {
+	arr, _ := NewArray(32, 8, 2)
+	l := workload.Layer{Name: "stride", Kind: workload.Conv,
+		H: 11, W: 11, C: 2, R: 5, S: 5, M: 6, Stride: 2, Pad: 2}
+	checkLayer(t, arr, l, 6)
+}
+
+func TestDepthwiseLayer(t *testing.T) {
+	arr, _ := NewArray(16, 8, 1)
+	l := workload.Layer{Name: "dw", Kind: workload.DepthwiseConv,
+		H: 6, W: 6, C: 5, R: 3, S: 3, M: 5, Stride: 1, Pad: 1}
+	checkLayer(t, arr, l, 7)
+}
+
+func TestFullyConnectedShape(t *testing.T) {
+	// FC = 1×1 conv over a 1×1 extent: rows tile over input features.
+	arr, _ := NewArray(16, 8, 1)
+	l := workload.Layer{Name: "fc", Kind: workload.FullyConnected,
+		H: 1, W: 1, C: 40, R: 1, S: 1, M: 10, Stride: 1}
+	checkLayer(t, arr, l, 8)
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	for _, bad := range [][3]int{{0, 4, 1}, {4, 0, 1}, {4, 4, 0}} {
+		if _, err := NewArray(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("NewArray(%v) must fail", bad)
+		}
+	}
+}
+
+func TestRunRejectsInvalidLayer(t *testing.T) {
+	arr, _ := NewArray(4, 4, 1)
+	bad := workload.Layer{Name: "bad", Kind: workload.Conv,
+		H: 2, W: 2, C: 1, R: 5, S: 5, M: 1, Stride: 1}
+	if _, _, err := arr.Run(bad, NewWeights(1, 1, 5, 5), dau.NewIfmap(1, 2, 2)); err == nil {
+		t.Fatal("Run must reject invalid layers")
+	}
+}
+
+// The central correctness property of the repository: for arbitrary layer
+// shapes, array geometries and register counts, the cycle-stepped systolic
+// array computes exactly the reference convolution.
+func TestSystolicMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64, hw, ch, mm, rs, rows8, cols8, regs8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + 2*(int(rs)%2) // 1 or 3
+		h := r + 1 + int(hw)%5
+		l := workload.Layer{Name: "prop", Kind: workload.Conv,
+			H: h, W: h, C: 1 + int(ch)%4, R: r, S: r,
+			M: 1 + int(mm)%10, Stride: 1, Pad: r / 2}
+		rows := 2 + int(rows8)%14
+		cols := 1 + int(cols8)%8
+		regs := 1 + int(regs8)%4
+		arr, err := NewArray(rows, cols, regs)
+		if err != nil {
+			return false
+		}
+		in := randomIfmap(rng, l.C, l.H, l.W)
+		w := randomWeights(rng, l)
+		got, st, err := arr.Run(l, w, in)
+		if err != nil {
+			return false
+		}
+		return equalOfmap(got, Reference(l, w, in)) && st.MACs == l.MACs()
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more registers never change the result, only the schedule.
+func TestRegisterCountInvarianceProperty(t *testing.T) {
+	l := workload.Layer{Name: "inv", Kind: workload.Conv,
+		H: 6, W: 6, C: 2, R: 3, S: 3, M: 12, Stride: 1, Pad: 1}
+	rng := rand.New(rand.NewSource(99))
+	in := randomIfmap(rng, l.C, l.H, l.W)
+	w := randomWeights(rng, l)
+	var first Ofmap
+	for _, regs := range []int{1, 2, 4, 8} {
+		arr, _ := NewArray(10, 4, regs)
+		got, _, err := arr.Run(l, w, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = got
+			continue
+		}
+		if !equalOfmap(first, got) {
+			t.Fatalf("register count %d changed the computed output", regs)
+		}
+	}
+}
+
+func TestCycleCountScalesWithRegisters(t *testing.T) {
+	// K registers stretch a tile over ~K× the cycles but cover K× the
+	// filters per mapping: fewer mappings, roughly equal total cycles.
+	l := workload.Layer{Name: "cyc", Kind: workload.Conv,
+		H: 8, W: 8, C: 1, R: 3, S: 3, M: 32, Stride: 1, Pad: 1}
+	rng := rand.New(rand.NewSource(7))
+	in := randomIfmap(rng, l.C, l.H, l.W)
+	w := randomWeights(rng, l)
+
+	arr1, _ := NewArray(9, 4, 1)
+	_, st1, err := arr1.Run(l, w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr8, _ := NewArray(9, 4, 8)
+	_, st8, err := arr8.Run(l, w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st8.Mappings >= st1.Mappings {
+		t.Fatalf("8 registers must need fewer mappings: %d vs %d", st8.Mappings, st1.Mappings)
+	}
+}

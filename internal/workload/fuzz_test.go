@@ -1,0 +1,30 @@
+package workload
+
+import "testing"
+
+// FuzzLayerValidate hardens the layer validator: arbitrary geometry must
+// never panic, and any accepted layer must have a consistent positive
+// output extent and non-negative accounting.
+func FuzzLayerValidate(f *testing.F) {
+	f.Add(224, 224, 3, 11, 11, 96, 4, 0, 0)
+	f.Add(1, 1, 4096, 1, 1, 1000, 1, 0, 2)
+	f.Add(56, 56, 64, 3, 3, 64, 1, 1, 1)
+	f.Add(-5, 0, 7, 3, 3, 7, 2, 9, 3)
+	f.Fuzz(func(t *testing.T, h, w, c, r, s, m, stride, pad, kind int) {
+		l := Layer{
+			Name: "fuzz", Kind: Kind(((kind % 4) + 4) % 4),
+			H: h % 1024, W: w % 1024, C: c % 8192,
+			R: r % 32, S: s % 32, M: m % 8192,
+			Stride: stride % 16, Pad: pad % 16,
+		}
+		if err := l.Validate(); err != nil {
+			return
+		}
+		if l.OutH() <= 0 || l.OutW() <= 0 {
+			t.Fatalf("accepted layer has empty output: %+v", l)
+		}
+		if l.MACs() < 0 || l.IfmapBytes() <= 0 || l.WorkingSetBytes() <= 0 {
+			t.Fatalf("accepted layer has negative accounting: %+v", l)
+		}
+	})
+}

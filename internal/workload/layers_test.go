@@ -1,0 +1,126 @@
+package workload
+
+import "testing"
+
+// Per-layer golden regression: VGG16's published layer shapes and MAC
+// counts (Simonyan & Zisserman, configuration D). Any change to the layer
+// tables that shifts a layer's geometry breaks this test.
+func TestVGG16PerLayerGolden(t *testing.T) {
+	want := []struct {
+		name  string
+		outHW int
+		outC  int
+		mmacs int64 // MACs in millions
+	}{
+		{"conv1_1", 224, 64, 86},
+		{"conv1_2", 224, 64, 1849},
+		{"conv2_1", 112, 128, 924},
+		{"conv2_2", 112, 128, 1849},
+		{"conv3_1", 56, 256, 924},
+		{"conv3_2", 56, 256, 1849},
+		{"conv3_3", 56, 256, 1849},
+		{"conv4_1", 28, 512, 924},
+		{"conv4_2", 28, 512, 1849},
+		{"conv4_3", 28, 512, 1849},
+		{"conv5_1", 14, 512, 462},
+		{"conv5_2", 14, 512, 462},
+		{"conv5_3", 14, 512, 462},
+		{"fc6", 1, 4096, 102},
+		{"fc7", 1, 4096, 16},
+		{"fc8", 1, 1000, 4},
+	}
+	net := VGG16()
+	got := net.ComputeLayers()
+	if len(got) != len(want) {
+		t.Fatalf("VGG16 has %d compute layers, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		l := got[i]
+		if l.Name != w.name {
+			t.Fatalf("layer %d = %q, want %q", i, l.Name, w.name)
+		}
+		if l.OutH() != w.outHW || l.M != w.outC {
+			t.Errorf("%s: output %dx%dx%d, want %dx%dx%d",
+				w.name, l.OutH(), l.OutW(), l.M, w.outHW, w.outHW, w.outC)
+		}
+		if got := l.MACs() / 1e6; got != w.mmacs {
+			t.Errorf("%s: %d MMACs, want %d", w.name, got, w.mmacs)
+		}
+	}
+}
+
+// MobileNet's published totals: depthwise layers are ~3% of the MACs but
+// 13 of the 27 compute layers — the imbalance behind its NPU behaviour.
+func TestMobileNetDepthwiseShare(t *testing.T) {
+	net := MobileNet()
+	var dw, total int64
+	for _, l := range net.Layers {
+		total += l.MACs()
+		if l.Kind == DepthwiseConv {
+			dw += l.MACs()
+		}
+	}
+	share := float64(dw) / float64(total)
+	if share < 0.02 || share > 0.08 {
+		t.Fatalf("depthwise MAC share = %.1f%%, want ~3%%", share*100)
+	}
+}
+
+// ResNet50's bottleneck structure: 53 convolutions (1 stem + 16×3
+// bottleneck + 4 projections) plus the classifier.
+func TestResNet50Structure(t *testing.T) {
+	net := ResNet50()
+	convs, fcs, pools := 0, 0, 0
+	for _, l := range net.Layers {
+		switch l.Kind {
+		case Conv:
+			convs++
+		case FullyConnected:
+			fcs++
+		case Pool:
+			pools++
+		}
+	}
+	if convs != 53 {
+		t.Errorf("ResNet50 conv layers = %d, want 53", convs)
+	}
+	if fcs != 1 || pools != 2 {
+		t.Errorf("ResNet50 fc/pool = %d/%d, want 1/2 (stem maxpool + avgpool)", fcs, pools)
+	}
+	// Final feature map is 7×7×2048.
+	var last Layer
+	for _, l := range net.Layers {
+		if l.Kind == Conv {
+			last = l
+		}
+	}
+	if last.OutH() != 7 || last.M != 2048 {
+		t.Errorf("final conv output %dx%dx%d, want 7x7x2048", last.OutH(), last.OutW(), last.M)
+	}
+}
+
+// GoogLeNet inception modules: output channel sums match the published
+// table (3a → 256, 4a → 512, 5b → 1024).
+func TestGoogLeNetInceptionChannels(t *testing.T) {
+	net := GoogLeNet()
+	sums := map[string]int{}
+	for _, l := range net.Layers {
+		if l.Kind != Conv {
+			continue
+		}
+		for _, mod := range []string{"3a", "3b", "4a", "4e", "5b"} {
+			if len(l.Name) > len(mod) && l.Name[:len(mod)+1] == mod+"/" {
+				switch l.Name[len(mod)+1:] {
+				case "1x1", "3x3", "5x5", "pool_proj":
+					sums[mod] += l.M
+				}
+			}
+		}
+	}
+	want := map[string]int{"3a": 256, "3b": 480, "4a": 512, "4e": 832, "5b": 1024}
+	for mod, m := range want {
+		if sums[mod] != m {
+			t.Errorf("inception %s output channels = %d, want %d", mod, sums[mod], m)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package supernpu is a from-scratch reproduction of "SuperNPU: An
+// Extremely Fast Neural Processing Unit Using Superconducting Logic
+// Devices" (Ishida, Byun et al., MICRO 2020): a modelling and simulation
+// framework for single-flux-quantum (SFQ) neural processing units.
+//
+// The package is the public face of the repository. It exposes:
+//
+//   - the paper's five evaluation design points — the CMOS TPU core and the
+//     four SFQ designs (Baseline, Buffer opt., Resource opt., SuperNPU) —
+//     and a unified Evaluate over both simulators;
+//   - the SFQ-NPU estimator (frequency / power / area of any SFQ NPU
+//     configuration, validated as in Fig. 13);
+//   - the six CNN evaluation workloads and constructors for custom ones;
+//   - the design-space explorations that produced SuperNPU (buffer
+//     division, resource balancing, registers per PE); and
+//   - the experiment harness that regenerates every table and figure of
+//     the paper's evaluation.
+//
+// A minimal session:
+//
+//	net, _ := supernpu.WorkloadByName("ResNet50")
+//	ev, _ := supernpu.Evaluate(supernpu.SuperNPU(), net, 0)
+//	fmt.Printf("%.1f TMAC/s at %.1f GHz\n", ev.Throughput/1e12, ev.Frequency/1e9)
+package supernpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"supernpu/internal/arch"
+	"supernpu/internal/core"
+	"supernpu/internal/dau"
+	"supernpu/internal/estimator"
+	"supernpu/internal/experiments"
+	"supernpu/internal/scalesim"
+	"supernpu/internal/sfq"
+	"supernpu/internal/systolic"
+	"supernpu/internal/workload"
+)
+
+// Design is one evaluated design point (an SFQ NPU configuration or the
+// CMOS TPU core).
+type Design = core.Design
+
+// Evaluation is the unified result of one workload on one design.
+type Evaluation = core.Evaluation
+
+// Network is a DNN workload description.
+type Network = workload.Network
+
+// Layer is one network layer.
+type Layer = workload.Layer
+
+// Estimate is the SFQ estimator's architecture-level output.
+type Estimate = estimator.Result
+
+// SweepPoint is one design-space exploration result.
+type SweepPoint = core.SweepPoint
+
+// TPU returns the conventional CMOS accelerator reference (Table I).
+func TPU() Design { return core.CMOSDesign(scalesim.TPU()) }
+
+// Baseline returns the naive SFQ NPU design point.
+func Baseline() Design { return core.SFQDesign(arch.Baseline()) }
+
+// BufferOpt returns the buffer-optimised SFQ design point.
+func BufferOpt() Design { return core.SFQDesign(arch.BufferOpt()) }
+
+// ResourceOpt returns the resource-balanced SFQ design point.
+func ResourceOpt() Design { return core.SFQDesign(arch.ResourceOpt()) }
+
+// SuperNPU returns the paper's final design: 64×256 weight-stationary array,
+// 48 MB of divided, integrated shift-register buffers, 8 registers per PE.
+func SuperNPU() Design { return core.SFQDesign(arch.SuperNPU()) }
+
+// ERSFQ returns a copy of an SFQ design switched to energy-efficient RSFQ
+// biasing (zero static power, doubled switching energy). It panics on a
+// CMOS design.
+func ERSFQ(d Design) Design {
+	if d.Platform != core.SFQ {
+		panic("supernpu: ERSFQ applies only to SFQ designs")
+	}
+	cfg := d.SFQ
+	cfg.Tech = sfq.ERSFQ
+	cfg.Name = "ERSFQ-" + cfg.Name
+	return core.SFQDesign(cfg)
+}
+
+// Designs returns the five evaluation design points in Fig. 23 order.
+func Designs() []Design { return core.DesignPoints() }
+
+// Workloads returns the six evaluation CNNs in Fig. 23 order.
+func Workloads() []Network { return workload.All() }
+
+// WorkloadByName returns a named evaluation CNN.
+func WorkloadByName(name string) (Network, error) { return workload.ByName(name) }
+
+// Evaluate simulates the workload on the design at the given batch size
+// (batch 0 selects the design's maximum on-chip batch, Table II).
+func Evaluate(d Design, net Network, batch int) (*Evaluation, error) {
+	return core.Evaluate(d, net, batch)
+}
+
+// Speedup returns a design's effective-throughput ratio over the TPU core
+// on one workload (the Fig. 23 metric).
+func Speedup(d Design, net Network) (float64, error) { return core.Speedup(d, net) }
+
+// EstimateDesign runs the three-layer SFQ estimator on an SFQ design,
+// reporting clock frequency, static power, junction count and die area.
+func EstimateDesign(d Design) (*Estimate, error) { return estimator.Estimate(d.SFQ) }
+
+// ValidateModels reruns the Fig. 13 validation of the estimator against the
+// die-level and post-layout references.
+func ValidateModels() estimator.Report { return estimator.Validate() }
+
+// ExploreDivision sweeps the buffer division degree (Fig. 20).
+func ExploreDivision(degrees []int) ([]SweepPoint, error) { return core.ExploreDivision(degrees) }
+
+// ExploreWidth sweeps PE-array width with rebalanced buffers (Fig. 21).
+func ExploreWidth() ([]SweepPoint, error) { return core.ExploreWidth(core.Fig21Points()) }
+
+// ExploreRegisters sweeps registers per PE at a given array width (Fig. 22).
+func ExploreRegisters(width int, regs []int) ([]SweepPoint, error) {
+	return core.ExploreRegisters(width, regs)
+}
+
+// ExperimentIDs lists the reproducible paper exhibits (fig5 … table3).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper exhibit as rendered text.
+func RunExperiment(id string) (string, error) { return experiments.Run(id) }
+
+// RunAllExperiments regenerates every paper exhibit.
+func RunAllExperiments() (string, error) { return experiments.RunAll() }
+
+// NewConvLayer builds a convolution layer for custom networks.
+func NewConvLayer(name string, h, w, c, r, s, m, stride, pad int) Layer {
+	return Layer{Name: name, Kind: workload.Conv, H: h, W: w, C: c, R: r, S: s, M: m, Stride: stride, Pad: pad}
+}
+
+// NewDepthwiseLayer builds a depthwise convolution layer.
+func NewDepthwiseLayer(name string, h, w, c, r, s, stride, pad int) Layer {
+	return Layer{Name: name, Kind: workload.DepthwiseConv, H: h, W: w, C: c, R: r, S: s, M: c, Stride: stride, Pad: pad}
+}
+
+// NewFCLayer builds a fully connected layer.
+func NewFCLayer(name string, in, out int) Layer {
+	return Layer{Name: name, Kind: workload.FullyConnected, H: 1, W: 1, C: in, R: 1, S: 1, M: out, Stride: 1}
+}
+
+// NewPoolLayer builds a pooling layer (no MACs; reshapes activations).
+func NewPoolLayer(name string, h, w, c, r, stride, pad int) Layer {
+	return Layer{Name: name, Kind: workload.Pool, H: h, W: w, C: c, R: r, S: r, M: c, Stride: stride, Pad: pad}
+}
+
+// NewNetwork builds a custom workload from layers; Validate is the caller's
+// contract before simulation.
+func NewNetwork(name string, layers ...Layer) Network {
+	return Network{Name: name, Layers: layers}
+}
+
+// FunctionalCheck runs one layer through the cycle-stepped functional
+// systolic array (PEs, DAU selection, timing skew, multi-register
+// interleaving) on pseudorandom int8 data and verifies the result against a
+// direct golden convolution. It returns the array statistics; a mismatch is
+// reported as an error. This is the datapath-correctness path of the
+// repository — the performance simulator charges cycles for exactly these
+// mechanics.
+func FunctionalCheck(l Layer, rows, cols, regs int, seed int64) (systolic.Stats, error) {
+	arr, err := systolic.NewArray(rows, cols, regs)
+	if err != nil {
+		return systolic.Stats{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := dau.NewIfmap(l.C, l.H, l.W)
+	for c := 0; c < l.C; c++ {
+		for y := 0; y < l.H; y++ {
+			for x := 0; x < l.W; x++ {
+				in[c][y][x] = int8(rng.Intn(256) - 128)
+			}
+		}
+	}
+	wc := l.C
+	if l.Kind == workload.DepthwiseConv {
+		wc = 1
+	}
+	w := systolic.NewWeights(l.M, wc, l.R, l.S)
+	for m := range w {
+		for c := range w[m] {
+			for r := range w[m][c] {
+				for s := range w[m][c][r] {
+					w[m][c][r][s] = int8(rng.Intn(256) - 128)
+				}
+			}
+		}
+	}
+	got, stats, err := arr.Run(l, w, in)
+	if err != nil {
+		return stats, err
+	}
+	want := systolic.Reference(l, w, in)
+	for m := range want {
+		for e := range want[m] {
+			for f := range want[m][e] {
+				if got[m][e][f] != want[m][e][f] {
+					return stats, fmt.Errorf("supernpu: functional mismatch at [%d][%d][%d]: %d != %d",
+						m, e, f, got[m][e][f], want[m][e][f])
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+// AblationIDs lists the repository's design-choice ablation studies
+// (dataflow, clock skewing, DAU, bandwidth, process scaling, batch).
+func AblationIDs() []string { return experiments.AblationIDs() }
