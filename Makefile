@@ -1,0 +1,35 @@
+# Standard gate for every change: build, vet, then the full test suite
+# under the race detector (the parallel sweep engine and the memo caches
+# are exercised concurrently by the determinism tests).
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-sweep repro clean
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (regenerates every exhibit; slow).
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
+
+# The sweep-engine comparison: serial vs parallel vs memoised.
+bench-sweep:
+	$(GO) test -run=NONE -bench='BenchmarkRunAll|BenchmarkSimulateC' -benchtime=5x .
+
+repro:
+	$(GO) run ./cmd/supernpu-repro -v
+
+clean:
+	$(GO) clean ./...

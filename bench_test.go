@@ -1,6 +1,7 @@
 package supernpu
 
 import (
+	"runtime"
 	"testing"
 
 	"supernpu/internal/arch"
@@ -8,7 +9,9 @@ import (
 	"supernpu/internal/experiments"
 	"supernpu/internal/jsim"
 	"supernpu/internal/npusim"
+	"supernpu/internal/parallel"
 	"supernpu/internal/scalesim"
+	"supernpu/internal/simcache"
 	"supernpu/internal/systolic"
 	"supernpu/internal/workload"
 )
@@ -80,6 +83,77 @@ func BenchmarkTable2Batches(b *testing.B) { benchExperiment(b, "table2") }
 // BenchmarkTable3PowerEfficiency regenerates the power-efficiency table
 // (Table III).
 func BenchmarkTable3PowerEfficiency(b *testing.B) { benchExperiment(b, "table3") }
+
+// --- sweep-engine benchmarks (serial vs parallel, cold vs cached) ---
+
+// benchRunAll measures a cold-cache regeneration of every exhibit at the
+// given worker count.
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(0)
+	for i := 0; i < b.N; i++ {
+		simcache.ClearAll()
+		if _, err := experiments.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllSerial regenerates every exhibit on one worker with cold
+// caches — the pre-parallelism behaviour of the harness.
+func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel regenerates every exhibit with the full worker
+// pool, cold caches each iteration.
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.NumCPU()) }
+
+// BenchmarkRunAllWarm measures a fully memoised regeneration: every
+// simulation, estimate and RCSJ extraction served from the caches.
+func BenchmarkRunAllWarm(b *testing.B) {
+	parallel.SetWorkers(runtime.NumCPU())
+	defer parallel.SetWorkers(0)
+	simcache.ClearAll()
+	if _, err := experiments.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateCold measures one uncached cycle simulation of ResNet-50
+// on SuperNPU (the cache is cleared every iteration).
+func BenchmarkSimulateCold(b *testing.B) {
+	net := workload.ResNet50()
+	cfg := arch.SuperNPU()
+	for i := 0; i < b.N; i++ {
+		simcache.ClearAll()
+		if _, err := npusim.Simulate(cfg, net, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateCached measures the same simulation served from the memo
+// cache — the repeated-reference pattern of the Figs. 20–22 sweeps.
+func BenchmarkSimulateCached(b *testing.B) {
+	net := workload.ResNet50()
+	cfg := arch.SuperNPU()
+	simcache.ClearAll()
+	if _, err := npusim.Simulate(cfg, net, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := npusim.Simulate(cfg, net, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- component micro-benchmarks ---
 

@@ -5,23 +5,35 @@
 // Usage:
 //
 //	supernpu-explore -sweep division
-//	supernpu-explore -sweep width
-//	supernpu-explore -sweep registers -width 64
+//	supernpu-explore -sweep width -parallel 4
+//	supernpu-explore -sweep registers -width 64 -seq -v
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"supernpu"
+	"supernpu/internal/parallel"
 	"supernpu/internal/report"
+	"supernpu/internal/simcache"
 )
 
 func main() {
 	sweep := flag.String("sweep", "division", "sweep kind: division, width, registers")
 	width := flag.Int("width", 64, "PE array width for the registers sweep")
+	par := flag.Int("parallel", runtime.NumCPU(), "maximum worker count for parallel evaluation")
+	seq := flag.Bool("seq", false, "run serially (shorthand for -parallel 1)")
+	verbose := flag.Bool("v", false, "print simulation-cache hit/miss statistics to stderr")
 	flag.Parse()
+
+	if *seq {
+		parallel.SetWorkers(1)
+	} else {
+		parallel.SetWorkers(*par)
+	}
 
 	var (
 		points []supernpu.SweepPoint
@@ -48,4 +60,12 @@ func main() {
 		t.AddRow(p.Label, report.F(p.SingleBatch, 2), report.F(p.MaxBatch, 2), report.F(p.AreaRel, 3))
 	}
 	t.Render(os.Stdout)
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "workers: %d\n", parallel.Workers())
+		for _, s := range simcache.Snapshot() {
+			fmt.Fprintf(os.Stderr, "cache %-10s %5d entries, %6d hits, %5d misses (%.0f%% hit rate)\n",
+				s.Name, s.Entries, s.Hits, s.Misses, s.HitRate()*100)
+		}
+	}
 }

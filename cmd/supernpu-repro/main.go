@@ -5,21 +5,35 @@
 //	supernpu-repro              # regenerate every table and figure
 //	supernpu-repro -exp fig23   # regenerate one exhibit
 //	supernpu-repro -list        # list exhibit ids
+//	supernpu-repro -parallel 4  # bound the worker pool at 4
+//	supernpu-repro -seq -v      # serial run, cache stats on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"supernpu/internal/experiments"
+	"supernpu/internal/parallel"
+	"supernpu/internal/simcache"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "exhibit id (fig5..fig23, table1..table3, ablation-*), 'all' or 'ablations'")
 	list := flag.Bool("list", false, "list available exhibit ids and exit")
+	par := flag.Int("parallel", runtime.NumCPU(), "maximum worker count for parallel evaluation")
+	seq := flag.Bool("seq", false, "run serially (shorthand for -parallel 1)")
+	verbose := flag.Bool("v", false, "print simulation-cache hit/miss statistics to stderr")
 	flag.Parse()
+
+	if *seq {
+		parallel.SetWorkers(1)
+	} else {
+		parallel.SetWorkers(*par)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
@@ -52,4 +66,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(out)
+
+	if *verbose {
+		printCacheStats()
+	}
+}
+
+func printCacheStats() {
+	fmt.Fprintf(os.Stderr, "workers: %d\n", parallel.Workers())
+	for _, s := range simcache.Snapshot() {
+		fmt.Fprintf(os.Stderr, "cache %-10s %5d entries, %6d hits, %5d misses (%.0f%% hit rate)\n",
+			s.Name, s.Entries, s.Hits, s.Misses, s.HitRate()*100)
+	}
 }

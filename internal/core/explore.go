@@ -7,6 +7,7 @@ import (
 	"supernpu/internal/arch"
 	"supernpu/internal/estimator"
 	"supernpu/internal/npusim"
+	"supernpu/internal/parallel"
 	"supernpu/internal/workload"
 )
 
@@ -39,31 +40,49 @@ type SweepPoint struct {
 // baselineThroughputs returns each workload's Baseline batch-1 throughput,
 // the normalisation reference of Figs. 20–22.
 func baselineThroughputs() (map[string]float64, error) {
-	out := map[string]float64{}
-	for _, net := range workload.All() {
-		r, err := npusim.Simulate(arch.Baseline(), net, 1)
+	nets := workload.All()
+	tputs, err := parallel.Map(len(nets), func(i int) (float64, error) {
+		r, err := npusim.Simulate(arch.Baseline(), nets[i], 1)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[net.Name] = r.Throughput
+		return r.Throughput, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for i, net := range nets {
+		out[net.Name] = tputs[i]
 	}
 	return out, nil
 }
 
-// sweep evaluates one configuration against the Baseline reference.
+// sweep evaluates one configuration against the Baseline reference. The six
+// workloads simulate concurrently; the geomean consumes their speedups in
+// workload order, so the result is bit-identical to a serial evaluation.
 func sweep(cfg arch.Config, base map[string]float64, baseArea float64) (SweepPoint, error) {
+	nets := workload.All()
+	type speedups struct{ s1, sm float64 }
+	vals, err := parallel.Map(len(nets), func(i int) (speedups, error) {
+		r1, err := npusim.Simulate(cfg, nets[i], 1)
+		if err != nil {
+			return speedups{}, err
+		}
+		rm, err := npusim.Simulate(cfg, nets[i], 0)
+		if err != nil {
+			return speedups{}, err
+		}
+		ref := base[nets[i].Name]
+		return speedups{r1.Throughput / ref, rm.Throughput / ref}, nil
+	})
+	if err != nil {
+		return SweepPoint{}, err
+	}
 	var s1, sm []float64
-	for _, net := range workload.All() {
-		r1, err := npusim.Simulate(cfg, net, 1)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		rm, err := npusim.Simulate(cfg, net, 0)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		s1 = append(s1, r1.Throughput/base[net.Name])
-		sm = append(sm, rm.Throughput/base[net.Name])
+	for _, v := range vals {
+		s1 = append(s1, v.s1)
+		sm = append(sm, v.sm)
 	}
 	est, err := estimator.Estimate(cfg)
 	if err != nil {
@@ -78,6 +97,22 @@ func sweep(cfg arch.Config, base map[string]float64, baseArea float64) (SweepPoi
 	}, nil
 }
 
+// sweepAll evaluates every configuration as one parallel batch of sweep
+// points, preserving input order.
+func sweepAll(cfgs []arch.Config) ([]SweepPoint, error) {
+	base, err := baselineThroughputs()
+	if err != nil {
+		return nil, err
+	}
+	bArea, err := baselineArea()
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(len(cfgs), func(i int) (SweepPoint, error) {
+		return sweep(cfgs[i], base, bArea)
+	})
+}
+
 func baselineArea() (float64, error) {
 	est, err := estimator.Estimate(arch.Baseline())
 	if err != nil {
@@ -87,43 +122,21 @@ func baselineArea() (float64, error) {
 }
 
 // ExploreDivision reproduces the Fig. 20 sweep: the Baseline, psum/ofmap
-// integration (division 2), then growing division degrees.
+// integration (division 2), then growing division degrees. All sweep points
+// evaluate concurrently.
 func ExploreDivision(degrees []int) ([]SweepPoint, error) {
-	base, err := baselineThroughputs()
-	if err != nil {
-		return nil, err
-	}
-	bArea, err := baselineArea()
-	if err != nil {
-		return nil, err
-	}
-	var out []SweepPoint
-	p, err := sweep(arch.Baseline(), base, bArea)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, p)
-
 	integ := arch.BufferOpt()
 	integ.IfmapChunks, integ.OutputChunks = 2, 2
 	integ.Name = "+Integration"
-	p, err = sweep(integ, base, bArea)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, p)
 
+	cfgs := []arch.Config{arch.Baseline(), integ}
 	for _, d := range degrees {
 		c := arch.BufferOpt()
 		c.IfmapChunks, c.OutputChunks = d, d
 		c.Name = fmt.Sprintf("+Division %d", d)
-		p, err = sweep(c, base, bArea)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		cfgs = append(cfgs, c)
 	}
-	return out, nil
+	return sweepAll(cfgs)
 }
 
 // WidthPoint is one Fig. 21 resource-balancing configuration: PE-array
@@ -152,49 +165,27 @@ func widthConfig(width, bufMB, regs int) arch.Config {
 	return c
 }
 
-// ExploreWidth reproduces the Fig. 21 sweep over the given points.
+// ExploreWidth reproduces the Fig. 21 sweep over the given points. All
+// sweep points evaluate concurrently.
 func ExploreWidth(points []WidthPoint) ([]SweepPoint, error) {
-	base, err := baselineThroughputs()
-	if err != nil {
-		return nil, err
-	}
-	bArea, err := baselineArea()
-	if err != nil {
-		return nil, err
-	}
-	var out []SweepPoint
+	var cfgs []arch.Config
 	for _, wp := range points {
-		p, err := sweep(widthConfig(wp.Width, wp.BufferMB, 1), base, bArea)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		cfgs = append(cfgs, widthConfig(wp.Width, wp.BufferMB, 1))
 	}
-	return out, nil
+	return sweepAll(cfgs)
 }
 
 // ExploreRegisters reproduces the Fig. 22 sweep: registers-per-PE scaling
-// at the given array width with its Fig. 21 buffer capacity.
+// at the given array width with its Fig. 21 buffer capacity. All sweep
+// points evaluate concurrently.
 func ExploreRegisters(width int, regCounts []int) ([]SweepPoint, error) {
-	base, err := baselineThroughputs()
-	if err != nil {
-		return nil, err
-	}
-	bArea, err := baselineArea()
-	if err != nil {
-		return nil, err
-	}
 	bufMB := 46
 	if width == 128 {
 		bufMB = 38
 	}
-	var out []SweepPoint
+	var cfgs []arch.Config
 	for _, r := range regCounts {
-		p, err := sweep(widthConfig(width, bufMB, r), base, bArea)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		cfgs = append(cfgs, widthConfig(width, bufMB, r))
 	}
-	return out, nil
+	return sweepAll(cfgs)
 }

@@ -15,8 +15,16 @@ import (
 	"supernpu/internal/netunit"
 	"supernpu/internal/pe"
 	"supernpu/internal/sfq"
+	"supernpu/internal/simcache"
 	"supernpu/internal/srmem"
 )
+
+// cache memoises Estimate by configuration fingerprint: the simulator calls
+// the estimator once per simulation and the sweeps revisit the same handful
+// of designs constantly. Results are shared and must be treated read-only.
+var cache = simcache.New[*Result]()
+
+func init() { simcache.Register("estimator", cache) }
 
 // logicAreaOverhead is the layout expansion factor of logic-dense units
 // (PE array, DAU) over their raw cell area: passive transmission lines,
@@ -146,7 +154,7 @@ func estimateBuffer(name string, c srmem.Config, lib *sfq.Library) UnitEstimate 
 
 // estimateNetwork returns the array-edge injection network estimate.
 func estimateNetwork(cfg arch.Config, lib *sfq.Library) UnitEstimate {
-	nc := netunit.Config{Width: maxInt(cfg.ArrayHeight, cfg.ArrayWidth), Bits: cfg.PECfg().Bits}
+	nc := netunit.Config{Width: max(cfg.ArrayHeight, cfg.ArrayWidth), Bits: cfg.PECfg().Bits}
 	inv := netunit.CellInventory(netunit.Systolic2D, nc)
 	return UnitEstimate{
 		Name:         "NW unit",
@@ -154,15 +162,24 @@ func estimateNetwork(cfg arch.Config, lib *sfq.Library) UnitEstimate {
 		StaticPower:  inv.StaticPower(lib),
 		Area:         inv.Area(lib) * logicAreaOverhead,
 		JJs:          inv.JJs(lib),
-		AccessEnergy: inv.AccessEnergy(lib) / float64(maxInt(1, inv.Gates())),
+		AccessEnergy: inv.AccessEnergy(lib) / float64(max(1, inv.Gates())),
 	}
 }
 
 // Estimate runs the full three-layer estimation for an NPU configuration.
+// Results are memoised by configuration; repeated calls return one shared
+// *Result, which callers must treat as read-only.
 func Estimate(cfg arch.Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return cache.GetOrCompute(simcache.ConfigKey(cfg), func() (*Result, error) {
+		return estimate(cfg)
+	})
+}
+
+// estimate is the uncached three-layer estimation.
+func estimate(cfg arch.Config) (*Result, error) {
 	lib := sfq.NewLibrary(sfq.AIST10(), cfg.Tech)
 
 	units := []UnitEstimate{
@@ -231,13 +248,6 @@ func EstimateNW(width, bits int, tech sfq.Technology) UnitEstimate {
 		Area:        inv.Area(lib) * logicAreaOverhead,
 		JJs:         inv.JJs(lib),
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // EstimatePrototypeNPU estimates the 4-bit 2×2 PE-arrayed NPU prototype of

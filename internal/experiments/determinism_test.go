@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"supernpu/internal/parallel"
+	"supernpu/internal/simcache"
+)
+
+// TestRunAllDeterministic asserts the tentpole guarantee of the parallel
+// sweep engine: RunAll renders byte-identical text regardless of the worker
+// count, with cold or warm caches, across repeated runs.
+func TestRunAllDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every exhibit three times")
+	}
+	defer parallel.SetWorkers(0)
+
+	parallel.SetWorkers(1)
+	simcache.ClearAll()
+	serial, err := RunAll()
+	if err != nil {
+		t.Fatalf("serial RunAll: %v", err)
+	}
+	if serial == "" {
+		t.Fatal("serial RunAll rendered nothing")
+	}
+
+	// At least four workers even on small machines, so the concurrent
+	// paths genuinely interleave (and the race detector sees them).
+	parallel.SetWorkers(max(4, runtime.NumCPU()))
+	simcache.ClearAll()
+	cold, err := RunAll()
+	if err != nil {
+		t.Fatalf("parallel RunAll (cold): %v", err)
+	}
+	if cold != serial {
+		t.Errorf("parallel cold-cache output differs from serial output:\nserial %d bytes, parallel %d bytes",
+			len(serial), len(cold))
+	}
+
+	warm, err := RunAll()
+	if err != nil {
+		t.Fatalf("parallel RunAll (warm): %v", err)
+	}
+	if warm != serial {
+		t.Error("warm-cache output differs from serial output")
+	}
+
+	// The warm rerun must have been served by the memo caches.
+	hits := int64(0)
+	for _, s := range simcache.Snapshot() {
+		hits += s.Hits
+	}
+	if hits == 0 {
+		t.Error("no cache hits recorded across repeated RunAll invocations")
+	}
+}

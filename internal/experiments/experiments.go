@@ -18,6 +18,7 @@ import (
 	"supernpu/internal/jsim"
 	"supernpu/internal/netunit"
 	"supernpu/internal/npusim"
+	"supernpu/internal/parallel"
 	"supernpu/internal/report"
 	"supernpu/internal/roofline"
 	"supernpu/internal/scalesim"
@@ -72,14 +73,23 @@ func Run(id string) (string, error) {
 	}
 }
 
-// RunAll regenerates every exhibit.
+// RunAll regenerates every exhibit. Exhibits render concurrently (bounded
+// by parallel.Workers()) and join in paper order, so the output is
+// byte-identical to a serial run.
 func RunAll() (string, error) {
-	var b strings.Builder
-	for _, id := range IDs() {
-		out, err := Run(id)
+	ids := IDs()
+	outs, err := parallel.Map(len(ids), func(i int) (string, error) {
+		out, err := Run(ids[i])
 		if err != nil {
-			return "", fmt.Errorf("%s: %w", id, err)
+			return "", fmt.Errorf("%s: %w", ids[i], err)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, out := range outs {
 		b.WriteString(out)
 		b.WriteString("\n")
 	}
@@ -388,20 +398,30 @@ func Table3() (string, error) {
 }
 
 // meanSpeedupAndPower evaluates a design across the six workloads and
-// returns its mean speedup over the TPU and its mean chip power.
+// returns its mean speedup over the TPU and its mean chip power. The
+// workloads evaluate concurrently; the means accumulate in workload order,
+// keeping the floats bit-identical to a serial run.
 func meanSpeedupAndPower(d core.Design) (speedup, power float64, err error) {
 	tpu := core.CMOSDesign(scalesim.TPU())
-	for _, net := range workload.All() {
-		ref, err := core.Evaluate(tpu, net, 0)
+	nets := workload.All()
+	type contrib struct{ speedup, power float64 }
+	vals, err := parallel.Map(len(nets), func(i int) (contrib, error) {
+		ref, err := core.Evaluate(tpu, nets[i], 0)
 		if err != nil {
-			return 0, 0, err
+			return contrib{}, err
 		}
-		ev, err := core.Evaluate(d, net, 0)
+		ev, err := core.Evaluate(d, nets[i], 0)
 		if err != nil {
-			return 0, 0, err
+			return contrib{}, err
 		}
-		speedup += ev.Throughput / ref.Throughput / 6
-		power += ev.ChipPower / 6
+		return contrib{ev.Throughput / ref.Throughput / 6, ev.ChipPower / 6}, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, v := range vals {
+		speedup += v.speedup
+		power += v.power
 	}
 	return speedup, power, nil
 }

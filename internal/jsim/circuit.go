@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"supernpu/internal/parallel"
 	"supernpu/internal/sfq"
 )
 
@@ -187,8 +188,19 @@ func (m Margins) Width() float64 { return m.High - m.Low }
 // BiasMargins measures the JTL's operating bias margins by bisection: the
 // lowest and highest global bias (in multiples of Ic) at which a 10-stage
 // line still delivers exactly one pulse per injected fluxon. SFQ cells are
-// typically quoted with ±20–30% bias margins.
+// typically quoted with ±20–30% bias margins. The result is memoised; the
+// two bisection arms run concurrently, each transient its own netlist.
 func BiasMargins() (Margins, error) {
+	v, err := cache.GetOrCompute("bias-margins/10", func() (any, error) {
+		return biasMargins()
+	})
+	if err != nil {
+		return Margins{}, err
+	}
+	return v.(Margins), nil
+}
+
+func biasMargins() (Margins, error) {
 	works := func(bias float64) bool {
 		ch := StandardJTL(10)
 		for i := range ch.Nodes {
@@ -220,5 +232,14 @@ func BiasMargins() (Margins, error) {
 		}
 		return good
 	}
-	return Margins{Low: bisect(0.0, nominal), High: bisect(1.2, nominal)}, nil
+	arms, err := parallel.Map(2, func(i int) (float64, error) {
+		if i == 0 {
+			return bisect(0.0, nominal), nil
+		}
+		return bisect(1.2, nominal), nil
+	})
+	if err != nil {
+		return Margins{}, err
+	}
+	return Margins{Low: arms[0], High: arms[1]}, nil
 }

@@ -92,7 +92,7 @@ func CriticalPathDelay(d Design, cfg Config, lib *sfq.Library) float64 {
 	case SplitterTree1D:
 		// One tree per row: the residual mismatch is only the tree depth
 		// (log2 W splitter levels), independent of which PE is fed.
-		depth := int(math.Ceil(math.Log2(float64(maxInt(cfg.Width, 2)))))
+		depth := int(math.Ceil(math.Log2(float64(max(cfg.Width, 2)))))
 		mismatch := make([]sfq.Gate, depth)
 		for i := range mismatch {
 			mismatch[i] = spl
@@ -186,9 +186,3 @@ func SystolicPerPE(bits int) sfq.Inventory {
 	return inv
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

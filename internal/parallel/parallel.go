@@ -1,0 +1,95 @@
+// Package parallel is the repository's bounded worker pool: order-preserving
+// Map/ForEach over index ranges, built on the standard library only.
+//
+// Every hot loop of the evaluation pipeline (figure regeneration, design-
+// space sweeps, per-layer simulation, JSIM transients) fans out through this
+// package, so a single knob — SetWorkers — switches the whole system between
+// serial and parallel execution. Results are always assembled by index, and
+// the error returned is always the one of the lowest failing index, so
+// output is byte-identical regardless of the worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the configured worker count; 0 means runtime.NumCPU().
+var workers atomic.Int64
+
+// SetWorkers sets the maximum number of concurrent workers used by Map and
+// ForEach. n <= 0 resets to runtime.NumCPU(). n == 1 forces fully serial,
+// in-order execution.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the effective worker count.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Map evaluates fn for every index in [0, n) using at most Workers()
+// goroutines and returns the results in index order. If any call fails, Map
+// returns the error of the lowest failing index and a nil slice. All
+// scheduled calls run to completion before Map returns.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach evaluates fn for every index in [0, n) using at most Workers()
+// goroutines and returns the error of the lowest failing index, if any.
+func ForEach(n int, fn func(i int) error) error {
+	_, err := Map(n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

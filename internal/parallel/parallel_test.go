@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		SetWorkers(w)
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results", w, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		_, err := Map(50, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errA
+			case 31:
+				return 0, errors.New("b")
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want error of index 7", w, err)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	SetWorkers(workers)
+	defer SetWorkers(0)
+
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	_, err := Map(64, func(i int) (struct{}, error) {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, worker bound is %d", p, workers)
+	}
+}
+
+func TestForEachVisitsEveryIndex(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	var seen [37]atomic.Int64
+	if err := ForEach(len(seen), func(i int) error {
+		seen[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("index %d visited %d times", i, n)
+		}
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	SetWorkers(2)
+	defer SetWorkers(0)
+	want := fmt.Errorf("boom")
+	if err := ForEach(10, func(i int) error {
+		if i == 3 {
+			return want
+		}
+		return nil
+	}); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}
+
+func TestWorkersDefaultsToNumCPU(t *testing.T) {
+	SetWorkers(0)
+	if got := Workers(); got != runtime.NumCPU() {
+		t.Fatalf("Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	SetWorkers(5)
+	if got := Workers(); got != 5 {
+		t.Fatalf("Workers() = %d, want 5", got)
+	}
+	SetWorkers(-1)
+	if got := Workers(); got != runtime.NumCPU() {
+		t.Fatalf("Workers() after negative set = %d, want NumCPU", got)
+	}
+	SetWorkers(0)
+}

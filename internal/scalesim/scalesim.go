@@ -12,8 +12,17 @@ package scalesim
 import (
 	"fmt"
 
+	"supernpu/internal/simcache"
 	"supernpu/internal/workload"
 )
+
+// cache memoises Simulate by (config, network, batch) fingerprint: the TPU
+// reference evaluation repeats for every design row of Fig. 23 and
+// Table III. Reports are shared between callers and must be treated as
+// read-only.
+var cache = simcache.New[*Report]()
+
+func init() { simcache.Register("scalesim", cache) }
 
 // Config describes the CMOS accelerator.
 type Config struct {
@@ -68,17 +77,31 @@ type Report struct {
 	PEUtilization float64
 }
 
-// Simulate runs the network at the given batch (0 = MaxBatch).
+// Simulate runs the network at the given batch (0 = MaxBatch). Results are
+// memoised by (config, network, batch); repeated calls return one shared
+// *Report, which callers must treat as read-only. Validation and batch
+// resolution happen inside the memoised computation, so a cache hit costs
+// only the key construction and lookup.
 func Simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	if batch == 0 {
-		batch = cfg.MaxBatch(net)
-	}
-	if batch < 1 {
+	if batch < 0 {
 		return nil, fmt.Errorf("scalesim: batch %d must be positive", batch)
 	}
+	key := simcache.Fingerprint(cfg, simcache.NetworkKey(net), batch)
+	return cache.GetOrCompute(key, func() (*Report, error) {
+		if err := net.Validate(); err != nil {
+			return nil, err
+		}
+		if batch == 0 {
+			// Re-enter through the cache so the batch-0 entry and the
+			// resolved-batch entry share one computed report.
+			return Simulate(cfg, net, cfg.MaxBatch(net))
+		}
+		return simulate(cfg, net, batch)
+	})
+}
+
+// simulate is the uncached mapping loop.
+func simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
 	rep := &Report{Config: cfg, Network: net.Name, Batch: batch}
 	cpb := cfg.Frequency / cfg.Bandwidth
 	h, w := cfg.ArrayHeight, cfg.ArrayWidth
@@ -94,15 +117,15 @@ func Simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
 		var tiles []tile
 		if l.Kind == workload.DepthwiseConv {
 			for c := 0; c < l.C; c++ {
-				tiles = append(tiles, tile{rows: minI(l.R*l.S, h), filters: 1, channels: 1})
+				tiles = append(tiles, tile{rows: min(l.R*l.S, h), filters: 1, channels: 1})
 			}
 		} else {
 			rsc := l.R * l.S * l.C
 			for rt := 0; rt < (rsc+h-1)/h; rt++ {
-				rows := minI(h, rsc-rt*h)
+				rows := min(h, rsc-rt*h)
 				for m := 0; m < l.M; m += w {
 					tiles = append(tiles, tile{
-						rows: rows, filters: minI(w, l.M-m),
+						rows: rows, filters: min(w, l.M-m),
 						channels: (rows + l.R*l.S - 1) / (l.R * l.S),
 					})
 				}
@@ -141,9 +164,3 @@ func Simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
 	return rep, nil
 }
 
-func minI(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -299,9 +299,3 @@ func (a *Array) runDepthwise(l workload.Layer, w Weights, in dau.Ifmap) (Ofmap, 
 	return out, st, nil
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

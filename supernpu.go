@@ -32,11 +32,33 @@ import (
 	"supernpu/internal/dau"
 	"supernpu/internal/estimator"
 	"supernpu/internal/experiments"
+	"supernpu/internal/parallel"
 	"supernpu/internal/scalesim"
 	"supernpu/internal/sfq"
+	"supernpu/internal/simcache"
 	"supernpu/internal/systolic"
 	"supernpu/internal/workload"
 )
+
+// SetParallelism bounds the worker pool every evaluation fans out through
+// (figure regeneration, design-space sweeps, per-layer simulation). n == 1
+// forces serial execution; n <= 0 resets to runtime.NumCPU(). Output is
+// byte-identical at any setting.
+func SetParallelism(n int) { parallel.SetWorkers(n) }
+
+// Parallelism returns the effective worker count.
+func Parallelism() int { return parallel.Workers() }
+
+// CacheStats is one simulation cache's hit/miss counter snapshot.
+type CacheStats = simcache.Stats
+
+// CacheStatistics returns the hit/miss counters of every simulation memo
+// cache (npusim, scalesim, estimator, jsim), sorted by name.
+func CacheStatistics() []CacheStats { return simcache.Snapshot() }
+
+// ClearCaches drops every memoised simulation result, forcing the next
+// evaluation to recompute from scratch (cold-start benchmarks).
+func ClearCaches() { simcache.ClearAll() }
 
 // Design is one evaluated design point (an SFQ NPU configuration or the
 // CMOS TPU core).
