@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-sweep repro clean
+# Coverage floor enforced on the evaluation service (make cover / CI).
+COVER_FLOOR ?= 70
+# Per-target budget for the fuzz smoke pass (make fuzz).
+FUZZTIME ?= 15s
+
+.PHONY: check build vet test race bench bench-sweep repro serve cover fuzz golden-update clean
 
 check: build vet race
 
@@ -31,5 +36,28 @@ bench-sweep:
 repro:
 	$(GO) run ./cmd/supernpu-repro -v
 
+# Run the HTTP evaluation service on :8080.
+serve:
+	$(GO) run ./cmd/supernpu-serve
+
+# Coverage gate: the evaluation service must stay at or above COVER_FLOOR%.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/server
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { pct = $$3; sub("%", "", pct); \
+		if (pct + 0 < $(COVER_FLOOR)) { printf "FAIL: internal/server coverage %s%% below the %d%% floor\n", pct, $(COVER_FLOOR); exit 1 } \
+		else { printf "internal/server coverage %s%% (floor %d%%)\n", pct, $(COVER_FLOOR) } }'
+
+# Short fuzzing passes over the request decoders and the cache keys.
+# Seed corpora are checked in under */testdata/fuzz and always run in
+# `make test`; this target additionally mutates for FUZZTIME per target.
+fuzz:
+	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzDecodeRequests -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/simcache -run='^$$' -fuzz=FuzzKeyInjectivity -fuzztime=$(FUZZTIME)
+
+# Re-snapshot the golden exhibit files after an intentional model change.
+golden-update:
+	$(GO) test . -run TestGolden -update
+
 clean:
 	$(GO) clean ./...
+	rm -f cover.out

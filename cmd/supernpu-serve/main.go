@@ -1,0 +1,62 @@
+// Command supernpu-serve runs the HTTP evaluation service: single
+// evaluations, estimator queries and design-space sweeps over the paper's
+// models, served as JSON with bounded concurrency and backpressure.
+//
+// Usage:
+//
+//	supernpu-serve                      # listen on :8080
+//	supernpu-serve -addr :9000 -queue 128 -timeout 10s
+//	supernpu-serve -workers 4           # bound the simulation pool at 4
+//
+// Endpoints:
+//
+//	POST /v1/evaluate   {"design":"SuperNPU","workload":"ResNet50","batch":0}
+//	POST /v1/estimate   {"design":"SuperNPU"} or {"config":{...}}
+//	POST /v1/explore    {"sweep":"division","degrees":[4,16,64]}
+//	GET  /v1/designs    the five evaluation design points
+//	GET  /v1/workloads  the six evaluation CNNs
+//	GET  /healthz       liveness
+//	GET  /debug/stats   cache hit/miss, pool occupancy, queue gauges
+//	GET  /debug/vars    raw expvar
+//
+// The service sheds load with 429 + Retry-After once the work queue is
+// full, and drains in-flight requests on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"supernpu/internal/parallel"
+	"supernpu/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "simulation worker pool width (also the request concurrency bound)")
+	queue := flag.Int("queue", 64, "bounded request queue depth; beyond it requests get 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, queue wait included")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
+	flag.Parse()
+
+	parallel.SetWorkers(*workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := server.New(server.Options{
+		MaxConcurrent: parallel.Workers(),
+		QueueDepth:    *queue,
+		Timeout:       *timeout,
+	})
+	if err := s.ListenAndServe(ctx, *addr, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "supernpu-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -7,11 +7,13 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"supernpu/internal/arch"
 	"supernpu/internal/cooling"
 	"supernpu/internal/npusim"
 	"supernpu/internal/scalesim"
+	"supernpu/internal/sfq"
 	"supernpu/internal/workload"
 )
 
@@ -59,6 +61,39 @@ func DesignPoints() []Design {
 
 // Workloads returns the six evaluation CNNs.
 func Workloads() []workload.Network { return workload.All() }
+
+// DesignByName resolves a design point by display name, case-insensitively.
+// An "ERSFQ-" prefix on an SFQ design name selects the energy-efficient
+// biasing variant of that design (zero static power, doubled switching
+// energy), matching the Table III rows.
+func DesignByName(name string) (Design, error) {
+	want := strings.TrimSpace(name)
+	base, ersfq := want, false
+	if len(want) >= 6 && strings.EqualFold(want[:6], "ERSFQ-") {
+		base, ersfq = want[6:], true
+	}
+	for _, d := range DesignPoints() {
+		if !strings.EqualFold(d.Name(), base) {
+			continue
+		}
+		if !ersfq {
+			return d, nil
+		}
+		if d.Platform != SFQ {
+			return Design{}, fmt.Errorf("core: ERSFQ applies only to SFQ designs, not %q", d.Name())
+		}
+		cfg := d.SFQ
+		cfg.Tech = sfq.ERSFQ
+		cfg.Name = "ERSFQ-" + cfg.Name
+		return SFQDesign(cfg), nil
+	}
+	names := make([]string, 0, 5)
+	for _, d := range DesignPoints() {
+		names = append(names, d.Name())
+	}
+	return Design{}, fmt.Errorf("core: unknown design %q (have %s, optionally ERSFQ- prefixed)",
+		name, strings.Join(names, ", "))
+}
 
 // Evaluation is the unified result of running one workload on one design.
 type Evaluation struct {

@@ -1,0 +1,154 @@
+// Property-based tests for the estimator's invariants: over randomly drawn
+// valid configurations, frequency and peak throughput are strictly positive,
+// and area, junction count and static power are monotone non-decreasing in
+// every resource axis (PE-array height/width, registers, buffer capacity).
+// A violated property means the three-layer model lost physical sense
+// somewhere, even if every fixed design point still matches the paper.
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"supernpu/internal/arch"
+	"supernpu/internal/sfq"
+)
+
+// randomValidConfig draws one configuration that passes arch.Validate:
+// power-of-two array dims, generous buffer capacities and division degrees
+// that always satisfy the shift-register geometry constraints.
+func randomValidConfig(rng *rand.Rand) arch.Config {
+	pow2 := func(lo, hi int) int { // random power of two in [2^lo, 2^hi]
+		return 1 << (lo + rng.Intn(hi-lo+1))
+	}
+	integrated := rng.Intn(2) == 1
+	cfg := arch.Config{
+		Name:        "prop",
+		ArrayHeight: pow2(3, 8), // 8..256
+		ArrayWidth:  pow2(3, 8),
+		Registers:   pow2(0, 3), // 1..8
+		// Capacity >= width*chunks holds: min capacity 1 MB, max width 512,
+		// max chunks 256 -> 512*256 = 128 KB < 1 MB.
+		IfmapBufBytes: pow2(20, 25), IfmapChunks: pow2(0, 8),
+		OutputBufBytes: pow2(20, 25), OutputChunks: pow2(0, 8),
+		IntegratedOutput: integrated,
+		WeightBufBytes:   pow2(14, 18),
+		Tech:             sfq.RSFQ,
+		MemoryBandwidth:  arch.DefaultBandwidth,
+	}
+	if !integrated {
+		cfg.PsumBufBytes = pow2(20, 24)
+	}
+	if rng.Intn(4) == 0 {
+		cfg.Tech = sfq.ERSFQ
+	}
+	return cfg
+}
+
+const propTrials = 200
+
+func TestPropertyEstimatePositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < propTrials; i++ {
+		cfg := randomValidConfig(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("generator produced invalid config: %v", err)
+		}
+		res, err := Estimate(cfg)
+		if err != nil {
+			t.Fatalf("Estimate(%+v): %v", cfg, err)
+		}
+		if res.Frequency <= 0 {
+			t.Fatalf("trial %d: frequency %v not strictly positive (%+v)", i, res.Frequency, cfg)
+		}
+		if res.PeakMACs <= 0 {
+			t.Fatalf("trial %d: peak throughput %v not strictly positive", i, res.PeakMACs)
+		}
+		if res.AreaNative <= 0 || res.Area28nm <= 0 {
+			t.Fatalf("trial %d: area %v / %v not strictly positive", i, res.AreaNative, res.Area28nm)
+		}
+		if res.TotalJJs <= 0 {
+			t.Fatalf("trial %d: JJ count %d not strictly positive", i, res.TotalJJs)
+		}
+		switch cfg.Tech {
+		case sfq.ERSFQ:
+			if res.StaticPower != 0 {
+				t.Fatalf("trial %d: ERSFQ static power %v, want 0", i, res.StaticPower)
+			}
+		default:
+			if res.StaticPower <= 0 {
+				t.Fatalf("trial %d: RSFQ static power %v not strictly positive", i, res.StaticPower)
+			}
+		}
+	}
+}
+
+// grow describes one resource axis and how to enlarge a config along it.
+type grow struct {
+	name  string
+	apply func(arch.Config) arch.Config
+}
+
+var growAxes = []grow{
+	{"ArrayHeight", func(c arch.Config) arch.Config { c.ArrayHeight *= 2; return c }},
+	{"ArrayWidth", func(c arch.Config) arch.Config { c.ArrayWidth *= 2; return c }},
+	{"Registers", func(c arch.Config) arch.Config { c.Registers *= 2; return c }},
+	{"IfmapBufBytes", func(c arch.Config) arch.Config { c.IfmapBufBytes *= 2; return c }},
+	{"OutputBufBytes", func(c arch.Config) arch.Config { c.OutputBufBytes *= 2; return c }},
+	{"WeightBufBytes", func(c arch.Config) arch.Config { c.WeightBufBytes *= 2; return c }},
+}
+
+func TestPropertyAreaPowerMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < propTrials; i++ {
+		cfg := randomValidConfig(rng)
+		base, err := Estimate(cfg)
+		if err != nil {
+			t.Fatalf("Estimate(base): %v", err)
+		}
+		axis := growAxes[rng.Intn(len(growAxes))]
+		bigger := axis.apply(cfg)
+		bigger.Name = fmt.Sprintf("prop+%s", axis.name)
+		if err := bigger.Validate(); err != nil {
+			t.Fatalf("grown config invalid along %s: %v", axis.name, err)
+		}
+		grown, err := Estimate(bigger)
+		if err != nil {
+			t.Fatalf("Estimate(grown %s): %v", axis.name, err)
+		}
+		if grown.AreaNative < base.AreaNative {
+			t.Fatalf("trial %d: area shrank growing %s: %v -> %v (%+v)",
+				i, axis.name, base.AreaNative, grown.AreaNative, cfg)
+		}
+		if grown.Area28nm < base.Area28nm {
+			t.Fatalf("trial %d: 28nm area shrank growing %s: %v -> %v",
+				i, axis.name, base.Area28nm, grown.Area28nm)
+		}
+		if grown.TotalJJs < base.TotalJJs {
+			t.Fatalf("trial %d: JJ count shrank growing %s: %d -> %d",
+				i, axis.name, base.TotalJJs, grown.TotalJJs)
+		}
+		if grown.StaticPower < base.StaticPower {
+			t.Fatalf("trial %d: static power shrank growing %s: %v -> %v",
+				i, axis.name, base.StaticPower, grown.StaticPower)
+		}
+	}
+}
+
+// TestPropertyPeakMACsScale checks the architectural identity PeakMACs =
+// height × width × frequency over random configs.
+func TestPropertyPeakMACsScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < propTrials; i++ {
+		cfg := randomValidConfig(rng)
+		res, err := Estimate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(cfg.ArrayHeight) * float64(cfg.ArrayWidth) * res.Frequency
+		if res.PeakMACs != want {
+			t.Fatalf("trial %d: PeakMACs %v != H*W*f %v", i, res.PeakMACs, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Native Go fuzz targets for the request-decoding surface: arbitrary bytes
+// through the strict JSON decoders and validators must never panic, leak a
+// goroutine or admit an out-of-bounds configuration. Seed corpora live in
+// testdata/fuzz/; run with
+//
+//	go test ./internal/server -run='^$' -fuzz=FuzzDecodeRequests -fuzztime=30s
+package server
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// decodeAll drives one input through every request decoder+validator pair,
+// exactly as the handlers do before admitting work to the pool.
+func decodeAll(data []byte) {
+	var ev EvaluateRequest
+	if err := decodeJSON(bytes.NewReader(data), &ev); err == nil {
+		if d, net, err := ev.resolve(); err == nil {
+			// A resolved request must be in-bounds: these invariants are
+			// what protect the simulators from adversarial inputs.
+			if len(net.Layers) > maxLayers {
+				panic("resolve admitted an oversized network")
+			}
+			if ev.Batch < 0 || ev.Batch > maxBatch {
+				panic("resolve admitted an out-of-range batch")
+			}
+			_ = d
+		}
+	}
+	var es EstimateRequest
+	if err := decodeJSON(bytes.NewReader(data), &es); err == nil {
+		if cfg, err := es.resolve(); err == nil {
+			if cfg.ArrayHeight <= 0 || cfg.ArrayHeight > maxArrayDim ||
+				cfg.ArrayWidth <= 0 || cfg.ArrayWidth > maxArrayDim {
+				panic("resolve admitted an out-of-bounds array")
+			}
+			if err := cfg.Validate(); err != nil {
+				panic("resolve admitted an invalid config: " + err.Error())
+			}
+		}
+	}
+	var ex ExploreRequest
+	if err := decodeJSON(bytes.NewReader(data), &ex); err == nil {
+		_ = ex.validate()
+	}
+}
+
+func FuzzDecodeRequests(f *testing.F) {
+	seeds := []string{
+		// Valid requests of each shape.
+		`{"design":"SuperNPU","workload":"ResNet50","batch":1}`,
+		`{"design":"ERSFQ-SuperNPU","workload":"AlexNet"}`,
+		`{"design":"TPU","network":{"name":"t","layers":[{"name":"c","kind":"conv","h":8,"w":8,"c":3,"r":3,"s":3,"m":8,"pad":1}]}}`,
+		`{"design":"SuperNPU"}`,
+		`{"config":{"arrayHeight":64,"arrayWidth":64,"registers":1,"ifmapBufBytes":1048576,"outputBufBytes":1048576,"integratedOutput":true,"weightBufBytes":16384}}`,
+		`{"sweep":"division","degrees":[2,4,8]}`,
+		`{"sweep":"width"}`,
+		`{"sweep":"registers","width":64,"registers":[1,8]}`,
+		// Malformed and adversarial shapes.
+		``,
+		`null`,
+		`[]`,
+		`{}`,
+		`{"design":1e309}`,
+		`{"design":"SuperNPU","batch":-9223372036854775808}`,
+		`{"network":{"name":"x","layers":[{"h":99999999999}]}}`,
+		`{"config":{"arrayHeight":2147483647,"arrayWidth":2147483647}}`,
+		`{"sweep":"division","degrees":[-1,0,65536]}`,
+		`{"design":"SuperNPU"}{"design":"TPU"}`,
+		"{\"design\":\"\x1fSuperNPU\"}",
+		`{"design":"SuperNPU","unknown":{"deeply":{"nested":[1,2,3]}}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		before := runtime.NumGoroutine()
+		decodeAll(data)
+		// Decoding is synchronous: any goroutine growth is a leak. Allow
+		// brief scheduler noise before declaring one.
+		if runtime.NumGoroutine() > before {
+			deadline := time.Now().Add(time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if g := runtime.NumGoroutine(); g > before {
+				t.Fatalf("decode leaked goroutines: %d -> %d", before, g)
+			}
+		}
+	})
+}

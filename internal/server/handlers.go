@@ -1,0 +1,190 @@
+// Endpoint handlers of the evaluation service. Each work handler decodes
+// and validates its request (api.go), then calls straight into the core
+// facade — the simulators memoise by content fingerprint, so identical
+// concurrent requests coalesce onto a single computation.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"supernpu/internal/core"
+	"supernpu/internal/estimator"
+	"supernpu/internal/parallel"
+	"supernpu/internal/simcache"
+	"supernpu/internal/workload"
+)
+
+// writeJSON encodes v with a trailing newline. Encoding a response struct
+// cannot fail; a broken client connection surfaces in the request log only.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError sends the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+// handleEvaluate serves POST /v1/evaluate.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	d, net, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ev, err := core.Evaluate(d, net, req.Batch)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, evaluationResponse(ev))
+}
+
+// handleEstimate serves POST /v1/estimate.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := estimator.Estimate(cfg)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateResponse(res))
+}
+
+// handleExplore serves POST /v1/explore.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var pts []core.SweepPoint
+	var err error
+	switch strings.ToLower(req.Sweep) {
+	case "division":
+		pts, err = core.ExploreDivision(req.Degrees)
+	case "width":
+		pts, err = core.ExploreWidth(core.Fig21Points())
+	case "registers":
+		pts, err = core.ExploreRegisters(req.Width, req.Registers)
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepResponse(req.Sweep, pts))
+}
+
+// handleDesigns serves GET /v1/designs: the five evaluation design points.
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	var out []DesignResponse
+	for _, d := range core.DesignPoints() {
+		switch d.Platform {
+		case core.SFQ:
+			out = append(out, DesignResponse{
+				Name: d.Name(), Platform: "sfq",
+				ArrayHeight: d.SFQ.ArrayHeight, ArrayWidth: d.SFQ.ArrayWidth,
+				Registers:   d.SFQ.Registers,
+				BufferBytes: d.SFQ.ActivationCapacity() + int64(d.SFQ.WeightBufBytes),
+			})
+		case core.CMOS:
+			out = append(out, DesignResponse{
+				Name: d.Name(), Platform: "cmos",
+				ArrayHeight: d.CMOS.ArrayHeight, ArrayWidth: d.CMOS.ArrayWidth,
+				BufferBytes: d.CMOS.BufferBytes,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleWorkloads serves GET /v1/workloads: the six evaluation CNNs.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []WorkloadResponse
+	for _, net := range workload.All() {
+		out = append(out, WorkloadResponse{
+			Name:        net.Name,
+			Layers:      len(net.Layers),
+			TotalMACs:   net.TotalMACs(),
+			WeightBytes: net.TotalWeightBytes(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse is the GET /debug/stats payload.
+type statsResponse struct {
+	Workers       int              `json:"workers"`
+	MaxConcurrent int              `json:"maxConcurrent"`
+	QueueDepth    int              `json:"queueDepth"`
+	Running       int64            `json:"running"`
+	Queued        int64            `json:"queued"`
+	Rejected      int64            `json:"rejected"`
+	Requests      int64            `json:"requests"`
+	Panics        int64            `json:"panics"`
+	SimsInFlight  int64            `json:"simsInFlight"`
+	Caches        []cacheStatsJSON `json:"caches"`
+}
+
+// cacheStatsJSON is one simulation cache's counters.
+type cacheStatsJSON struct {
+	Name     string  `json:"name"`
+	Entries  int     `json:"entries"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hitRate"`
+	InFlight int64   `json:"inFlight"`
+}
+
+// handleStats serves GET /debug/stats: pool occupancy, queue gauges and the
+// per-cache hit/miss counters. Caches come pre-sorted from the registry, so
+// the payload is deterministic.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Workers:       parallel.Workers(),
+		MaxConcurrent: s.opts.MaxConcurrent,
+		QueueDepth:    s.opts.QueueDepth,
+		Running:       s.metrics.running.Value(),
+		Queued:        s.queued.Load(),
+		Rejected:      s.metrics.rejected.Value(),
+		Requests:      s.metrics.requests.Value(),
+		Panics:        s.metrics.panics.Value(),
+		SimsInFlight:  simcache.TotalInFlight(),
+		Caches:        make([]cacheStatsJSON, 0, 4),
+	}
+	for _, c := range simcache.Snapshot() {
+		resp.Caches = append(resp.Caches, cacheStatsJSON{
+			Name: c.Name, Entries: c.Entries, Hits: c.Hits, Misses: c.Misses,
+			HitRate: c.HitRate(), InFlight: c.InFlight,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,211 @@
+// Concurrent load tests: the acceptance gate of the evaluation service.
+// A mixed duplicate/distinct request set is replayed serially to record
+// reference bytes, then hammered concurrently (cold and warm caches) and
+// every response must match the serial bytes exactly. A second test drives
+// real evaluation traffic through a tiny queue until the 429 path sheds
+// load. Run under -race (make check does).
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"supernpu/internal/simcache"
+)
+
+// loadRequests builds the mixed request set: duplicates of hot evaluations,
+// distinct design×workload pairs, estimator queries, a sweep, and listing
+// reads — 64 requests total.
+type loadRequest struct {
+	method, path, body string
+}
+
+func loadRequests() []loadRequest {
+	var reqs []loadRequest
+	designs := []string{"TPU", "Baseline", "Buffer opt.", "Resource opt.", "SuperNPU"}
+	nets := []string{"AlexNet", "VGG16", "GoogLeNet", "MobileNet", "ResNet50", "FasterRCNN"}
+	// 30 distinct evaluations (5 designs × 6 workloads).
+	for _, d := range designs {
+		for _, n := range nets {
+			reqs = append(reqs, loadRequest{"POST", "/v1/evaluate",
+				fmt.Sprintf(`{"design":%q,"workload":%q}`, d, n)})
+		}
+	}
+	// 16 duplicates of one hot evaluation: these must coalesce in-flight.
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, loadRequest{"POST", "/v1/evaluate",
+			`{"design":"SuperNPU","workload":"ResNet50","batch":1}`})
+	}
+	// 8 estimator queries (4 designs, duplicated).
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, loadRequest{"POST", "/v1/estimate",
+			fmt.Sprintf(`{"design":%q}`, designs[1+i%4])})
+	}
+	// 2 sweeps and 8 listing reads.
+	reqs = append(reqs,
+		loadRequest{"POST", "/v1/explore", `{"sweep":"registers","width":64,"registers":[1,8]}`},
+		loadRequest{"POST", "/v1/explore", `{"sweep":"registers","width":64,"registers":[1,8]}`},
+	)
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs,
+			loadRequest{"GET", "/v1/designs", ""},
+			loadRequest{"GET", "/v1/workloads", ""},
+		)
+	}
+	return reqs
+}
+
+// do issues one request and returns status + body.
+func (lr loadRequest) do(client *http.Client, base string) (int, []byte, error) {
+	var resp *http.Response
+	var err error
+	switch lr.method {
+	case "GET":
+		resp, err = client.Get(base + lr.path)
+	default:
+		resp, err = client.Post(base+lr.path, "application/json", strings.NewReader(lr.body))
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
+}
+
+// TestConcurrentLoadMatchesSerial is the byte-identity gate: 64 mixed
+// requests, first serial (reference), then all at once against cold caches,
+// then again warm. Every concurrent response must equal its serial bytes.
+func TestConcurrentLoadMatchesSerial(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	// A queue deep enough that nothing is shed: identity is the subject
+	// here, load shedding has its own test below.
+	_, ts := newTestServer(t, Options{MaxConcurrent: 4, QueueDepth: 64})
+	client := ts.Client()
+	reqs := loadRequests()
+
+	// Serial reference pass.
+	simcache.ClearAll()
+	want := make([][]byte, len(reqs))
+	for i, lr := range reqs {
+		status, body, err := lr.do(client, ts.URL)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("serial request %d (%s %s) = %d, err %v", i, lr.method, lr.path, status, err)
+		}
+		want[i] = body
+	}
+
+	hammer := func(label string) {
+		got := make([][]byte, len(reqs))
+		errs := make([]error, len(reqs))
+		var wg sync.WaitGroup
+		for i := range reqs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				status, body, err := reqs[i].do(client, ts.URL)
+				if err == nil && status != http.StatusOK {
+					err = fmt.Errorf("status %d: %s", status, body)
+				}
+				got[i], errs[i] = body, err
+			}(i)
+		}
+		wg.Wait()
+		for i := range reqs {
+			if errs[i] != nil {
+				t.Fatalf("%s: concurrent request %d (%s %s): %v", label, i, reqs[i].method, reqs[i].path, errs[i])
+			}
+			if string(got[i]) != string(want[i]) {
+				t.Fatalf("%s: request %d (%s %s) diverged from serial:\n got %s\nwant %s",
+					label, i, reqs[i].method, reqs[i].path, got[i], want[i])
+			}
+		}
+	}
+
+	// Cold pass: every simulation recomputes, duplicates coalesce in-flight.
+	simcache.ClearAll()
+	hammer("cold")
+	// Warm pass: everything served from the memo caches.
+	hammer("warm")
+
+	// The limiter and the coalesced computations must not leak goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before load, %d after", goroutinesBefore, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLoadShedsAt429 drives real evaluation traffic through a one-slot,
+// one-deep queue until the limiter sheds load on the live path (not a stub):
+// with 16 simultaneous cold sweeps against capacity 2, rejections must
+// appear, and every shed response carries Retry-After.
+func TestLoadShedsAt429(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 1, QueueDepth: 1})
+	client := ts.Client()
+
+	// Each request is a wide cold sweep (~tens of points), so service time
+	// far exceeds request-arrival time and overlap is effectively certain;
+	// rounds repeat with a deadline in case the scheduler still lines the
+	// first arrivals up serially.
+	degrees := func(off int) string {
+		var b strings.Builder
+		for d := 0; d < 24; d++ {
+			if d > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", 2+off+d)
+		}
+		return b.String()
+	}
+	var rejected, served int
+	deadline := time.Now().Add(30 * time.Second)
+	for round := 0; rejected == 0; round++ {
+		if time.Now().After(deadline) {
+			break
+		}
+		simcache.ClearAll() // keep the work slow: no memoised shortcuts
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, err := client.Post(ts.URL+"/v1/explore", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"sweep":"division","degrees":[%s]}`, degrees(100*round+40*i))))
+				if err != nil {
+					return
+				}
+				defer resp.Body.Close()
+				io.Copy(io.Discard, resp.Body)
+				mu.Lock()
+				defer mu.Unlock()
+				switch resp.StatusCode {
+				case http.StatusTooManyRequests:
+					rejected++
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("429 without Retry-After")
+					}
+				case http.StatusOK:
+					served++
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	if rejected == 0 {
+		t.Fatal("queue bound never produced a 429 under sustained overload")
+	}
+	if served == 0 {
+		t.Fatal("overloaded server served nothing at all")
+	}
+}

@@ -1,0 +1,140 @@
+// Middleware of the evaluation service: expvar metrics, the bounded-queue
+// backpressure limiter, panic recovery and request logging.
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"supernpu/internal/simcache"
+)
+
+// metrics is the service's expvar surface. Gauges (running, queued) move in
+// both directions; the rest are monotonic counters. The vars are published
+// once per process — test servers share them, which only ever adds counts.
+type metrics struct {
+	requests *expvar.Int // every request seen
+	running  *expvar.Int // gauge: requests holding a work slot
+	queued   *expvar.Int // gauge: requests waiting for a work slot
+	rejected *expvar.Int // 429 responses from the limiter
+	panics   *expvar.Int // handler panics recovered to 500
+}
+
+// globalMetrics is built at package init; expvar names are process-global.
+var globalMetrics = &metrics{
+	requests: expvar.NewInt("supernpu.server.requests"),
+	running:  expvar.NewInt("supernpu.server.running"),
+	queued:   expvar.NewInt("supernpu.server.queued"),
+	rejected: expvar.NewInt("supernpu.server.rejected"),
+	panics:   expvar.NewInt("supernpu.server.panics"),
+}
+
+// init mirrors the simulation caches' in-flight gauge into expvar: the
+// number of distinct (uncoalesced) simulations running right now.
+func init() {
+	expvar.Publish("supernpu.sims.inflight", expvar.Func(func() any {
+		return simcache.TotalInFlight()
+	}))
+}
+
+// limit is the backpressure gate: at most MaxConcurrent requests hold a work
+// slot, at most QueueDepth more wait for one, and everything beyond that is
+// shed immediately with 429 + Retry-After. The gauges feed /debug/stats.
+func (s *Server) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			// A work slot was free; skip the queue entirely.
+		default:
+			// Reserve a queue slot first (Add-then-check keeps the bound
+			// exact under concurrent arrivals), then wait for a work slot.
+			if q := s.queued.Add(1); q > int64(s.opts.QueueDepth) {
+				s.queued.Add(-1)
+				s.metrics.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Sprintf("queue full (%d running, %d queued); retry later", s.opts.MaxConcurrent, q-1))
+				return
+			}
+			s.metrics.queued.Add(1)
+			dequeue := func() {
+				s.queued.Add(-1)
+				s.metrics.queued.Add(-1)
+			}
+			select {
+			case s.sem <- struct{}{}:
+				dequeue()
+			case <-r.Context().Done():
+				dequeue()
+				writeError(w, http.StatusServiceUnavailable, "request abandoned while queued")
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		s.metrics.running.Add(1)
+		defer s.metrics.running.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// countRequests bumps the total-request counter.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// recovery converts handler panics into 500 responses instead of taking the
+// whole connection (and the process's other requests) down.
+func (s *Server) recovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.panics.Add(1)
+				s.opts.Logger.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// logging emits one line per request: method, path, status, duration.
+func (s *Server) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.opts.Logger.Printf("server: %s %s %s %s", r.Method, r.URL.Path,
+			strconv.Itoa(status), time.Since(start).Round(time.Microsecond))
+	})
+}

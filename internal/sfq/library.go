@@ -178,11 +178,25 @@ func (inv Inventory) Gates() int {
 	return total
 }
 
+// sortedKinds returns the inventory's gate kinds in lexical order. Float
+// reductions must accumulate in this fixed order: summing in map-iteration
+// order makes the low-order bits of power/area/energy vary from run to run,
+// which breaks byte-identical reproduction (golden files, the evaluation
+// service's serial-vs-concurrent identity).
+func (inv Inventory) sortedKinds() []GateKind {
+	kinds := make([]GateKind, 0, len(inv))
+	for k := range inv {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
 // StaticPower returns the inventory's total DC bias dissipation in watts.
 func (inv Inventory) StaticPower(l *Library) float64 {
 	p := 0.0
-	for k, n := range inv {
-		p += float64(n) * l.StaticPower(k)
+	for _, k := range inv.sortedKinds() {
+		p += float64(inv[k]) * l.StaticPower(k)
 	}
 	return p
 }
@@ -190,8 +204,8 @@ func (inv Inventory) StaticPower(l *Library) float64 {
 // Area returns the inventory's total laid-out area in m².
 func (inv Inventory) Area(l *Library) float64 {
 	a := 0.0
-	for k, n := range inv {
-		a += float64(n) * l.Area(k)
+	for _, k := range inv.sortedKinds() {
+		a += float64(inv[k]) * l.Area(k)
 	}
 	return a
 }
@@ -200,8 +214,8 @@ func (inv Inventory) Area(l *Library) float64 {
 // cell in the inventory once (e.g. one shift of a register stage).
 func (inv Inventory) AccessEnergy(l *Library) float64 {
 	e := 0.0
-	for k, n := range inv {
-		e += float64(n) * l.AccessEnergy(k)
+	for _, k := range inv.sortedKinds() {
+		e += float64(inv[k]) * l.AccessEnergy(k)
 	}
 	return e
 }

@@ -141,10 +141,11 @@ type entry[V any] struct {
 // Cache is a thread-safe memo map from fingerprint keys to values.
 // The zero value is not usable; construct with New.
 type Cache[V any] struct {
-	mu   sync.Mutex
-	m    map[string]*entry[V]
-	hits atomic.Int64
-	miss atomic.Int64
+	mu       sync.Mutex
+	m        map[string]*entry[V]
+	hits     atomic.Int64
+	miss     atomic.Int64
+	inflight atomic.Int64
 }
 
 // New returns an empty cache.
@@ -166,9 +167,19 @@ func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (V, error
 		c.hits.Add(1)
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = compute() })
+	e.once.Do(func() {
+		c.inflight.Add(1)
+		defer c.inflight.Add(-1)
+		e.val, e.err = compute()
+	})
 	return e.val, e.err
 }
+
+// InFlight returns the number of computations currently running in this
+// cache: first-access misses whose compute function has not returned yet.
+// Duplicate concurrent requests coalesce onto one in-flight computation, so
+// this gauge counts distinct work, not waiting callers.
+func (c *Cache[V]) InFlight() int64 { return c.inflight.Load() }
 
 // Get returns the cached value for key, if a completed computation exists.
 func (c *Cache[V]) Get(key string) (V, bool) {
@@ -214,6 +225,8 @@ type Stats struct {
 	Hits    int64
 	Misses  int64
 	Entries int
+	// InFlight is the number of computations running at snapshot time.
+	InFlight int64
 }
 
 // HitRate is hits over total lookups (0 when never accessed).
@@ -229,6 +242,7 @@ type metered interface {
 	Counters() (hits, misses int64)
 	Len() int
 	Clear()
+	InFlight() int64
 }
 
 var (
@@ -242,6 +256,7 @@ func Register(name string, c interface {
 	Counters() (hits, misses int64)
 	Len() int
 	Clear()
+	InFlight() int64
 }) {
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -255,7 +270,7 @@ func Snapshot() []Stats {
 	out := make([]Stats, 0, len(registry))
 	for name, c := range registry {
 		h, m := c.Counters()
-		out = append(out, Stats{Name: name, Hits: h, Misses: m, Entries: c.Len()})
+		out = append(out, Stats{Name: name, Hits: h, Misses: m, Entries: c.Len(), InFlight: c.InFlight()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -268,4 +283,17 @@ func ClearAll() {
 	for _, c := range registry {
 		c.Clear()
 	}
+}
+
+// TotalInFlight sums the in-flight computation gauges of every registered
+// cache: the number of distinct simulations/estimations running right now.
+// The evaluation service exports it as a load gauge.
+func TotalInFlight() int64 {
+	regMu.Lock()
+	defer regMu.Unlock()
+	var n int64
+	for _, c := range registry {
+		n += c.InFlight()
+	}
+	return n
 }

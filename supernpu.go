@@ -60,6 +60,12 @@ func CacheStatistics() []CacheStats { return simcache.Snapshot() }
 // evaluation to recompute from scratch (cold-start benchmarks).
 func ClearCaches() { simcache.ClearAll() }
 
+// SimulationsInFlight returns the number of distinct simulations and
+// estimations running right now across every memo cache. Concurrent
+// duplicate requests coalesce onto one computation, so this gauge counts
+// work, not callers; the evaluation service exports it at /debug/stats.
+func SimulationsInFlight() int64 { return simcache.TotalInFlight() }
+
 // Design is one evaluated design point (an SFQ NPU configuration or the
 // CMOS TPU core).
 type Design = core.Design
@@ -110,6 +116,11 @@ func ERSFQ(d Design) Design {
 
 // Designs returns the five evaluation design points in Fig. 23 order.
 func Designs() []Design { return core.DesignPoints() }
+
+// DesignByName resolves an evaluation design point by display name,
+// case-insensitively; an "ERSFQ-" prefix on an SFQ design selects its
+// energy-efficient biasing variant (the Table III rows).
+func DesignByName(name string) (Design, error) { return core.DesignByName(name) }
 
 // Workloads returns the six evaluation CNNs in Fig. 23 order.
 func Workloads() []Network { return workload.All() }
