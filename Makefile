@@ -9,7 +9,7 @@ COVER_FLOOR ?= 70
 # Per-target budget for the fuzz smoke pass (make fuzz).
 FUZZTIME ?= 15s
 
-.PHONY: check build vet test race bench bench-sweep repro serve cover fuzz golden-update clean
+.PHONY: check build vet test race bench bench-sweep repro serve cover fuzz fault-smoke race-resilience golden-update clean
 
 check: build vet race
 
@@ -53,6 +53,20 @@ cover:
 fuzz:
 	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzDecodeRequests -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/simcache -run='^$$' -fuzz=FuzzKeyInjectivity -fuzztime=$(FUZZTIME)
+
+# Fault-injection smoke suite: the margin sweep runs end to end under a
+# fixed seed and must be byte-identical between a parallel and a serial
+# pass (scheduling independence of the seeded fault model).
+fault-smoke:
+	$(GO) run ./cmd/supernpu-explore -sweep margin -fault-seed 42 -parallel 4 > fault-smoke-par.out
+	$(GO) run ./cmd/supernpu-explore -sweep margin -fault-seed 42 -seq > fault-smoke-seq.out
+	cmp fault-smoke-par.out fault-smoke-seq.out
+	@echo "fault-injection smoke: parallel and serial sweeps byte-identical"
+	@rm -f fault-smoke-par.out fault-smoke-seq.out
+
+# Race-detector pass focused on the resilience subsystems.
+race-resilience:
+	$(GO) test -race -count=1 ./internal/faultinject ./internal/parallel ./internal/server ./internal/checkpoint
 
 # Re-snapshot the golden exhibit files after an intentional model change.
 golden-update:

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"supernpu/internal/faultinject"
 	"supernpu/internal/parallel"
 	"supernpu/internal/server"
 )
@@ -43,6 +44,12 @@ func main() {
 	queue := flag.Int("queue", 64, "bounded request queue depth; beyond it requests get 429")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, queue wait included")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the deterministic SFQ fault model")
+	icSpread := flag.Float64("ic-spread", 0, "junction critical-current spread injected into every simulation")
+	pulseDrop := flag.Float64("pulse-drop", 0, "thermal pulse-drop probability per shift")
+	bitFlip := flag.Float64("bit-flip", 0, "datapath bit-flip probability per MAC")
+	erosion := flag.Float64("erosion", 0, "timing-margin erosion (fractional delay stretch)")
+	simFail := flag.Float64("sim-fail", 0, "probability a simulation aborts entirely (exercises the degraded path)")
 	flag.Parse()
 
 	parallel.SetWorkers(*workers)
@@ -50,10 +57,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Any non-zero rate arms the fault model; /v1/evaluate degrades to the
+	// analytical roofline (200 + "degraded": true) when a simulation aborts.
+	var fm *faultinject.Model
+	if *icSpread != 0 || *pulseDrop != 0 || *bitFlip != 0 || *erosion != 0 || *simFail != 0 {
+		fm = &faultinject.Model{
+			Seed: *faultSeed, IcSpread: *icSpread, PulseDrop: *pulseDrop,
+			BitFlip: *bitFlip, MarginErosion: *erosion, SimFail: *simFail,
+		}
+	}
+
 	s := server.New(server.Options{
 		MaxConcurrent: parallel.Workers(),
 		QueueDepth:    *queue,
 		Timeout:       *timeout,
+		Fault:         fm,
 	})
 	if err := s.ListenAndServe(ctx, *addr, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "supernpu-serve:", err)

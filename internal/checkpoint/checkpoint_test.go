@@ -1,0 +1,105 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type point struct {
+	Label string
+	Value float64
+}
+
+func TestPutGetAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("fresh store holds %d keys", s.Len())
+	}
+	if err := s.Put("a", point{"A", 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", point{"B", 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var p point
+	if !s2.Get("a", &p) || p != (point{"A", 1.5}) {
+		t.Fatalf("lost key a: %+v", p)
+	}
+	if !s2.Get("b", &p) || p != (point{"B", 2.5}) {
+		t.Fatalf("lost key b: %+v", p)
+	}
+	if s2.Get("c", &p) {
+		t.Fatal("phantom key c")
+	}
+}
+
+func TestTornFinalLineIsTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", point{"A", 1})
+	s.Put("b", point{"B", 2})
+	s.Close()
+
+	// Simulate a kill mid-write: truncate into the middle of the last line.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var p point
+	if !s2.Get("a", &p) {
+		t.Fatal("intact record a lost after torn tail")
+	}
+	if s2.Get("b", &p) {
+		t.Fatal("torn record b resurrected")
+	}
+	// The store must still accept appends after a torn tail.
+	if err := s2.Put("c", point{"C", 3}); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if !s3.Get("c", &p) || p.Label != "C" {
+		t.Fatal("append after torn tail lost")
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	var p point
+	if s.Get("a", &p) {
+		t.Fatal("nil store returned a value")
+	}
+	if err := s.Put("a", p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Close() != nil {
+		t.Fatal("nil store not inert")
+	}
+}

@@ -12,10 +12,16 @@
 package clocking
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"supernpu/internal/sfq"
 )
+
+// ErrUnknownScheme marks a clocking scheme outside the defined set.
+// Boundary code matches it with errors.Is to reject the input.
+var ErrUnknownScheme = errors.New("clocking: unknown scheme")
 
 // Scheme selects how the clock pulse is distributed relative to the data.
 type Scheme int
@@ -102,7 +108,9 @@ func (p Pair) CCT(s Scheme) float64 {
 	case CounterFlow:
 		return p.Dst.Setup + p.Dst.Hold + p.DataDelay() + p.ClockDelay()
 	default:
-		panic("clocking: unknown scheme")
+		// The sentinel survives the parallel pool's panic recovery, so
+		// errors.Is(err, ErrUnknownScheme) works at the service boundary.
+		panic(fmt.Errorf("%w %d", ErrUnknownScheme, int(s)))
 	}
 }
 

@@ -6,16 +6,38 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"supernpu/internal/arch"
+	"supernpu/internal/clocking"
 	"supernpu/internal/cooling"
+	"supernpu/internal/faultinject"
+	"supernpu/internal/netunit"
 	"supernpu/internal/npusim"
 	"supernpu/internal/scalesim"
 	"supernpu/internal/sfq"
 	"supernpu/internal/workload"
 )
+
+// ErrUnknownDesign marks a design name outside the evaluated set (or an
+// ERSFQ- prefix applied to a non-SFQ design).
+var ErrUnknownDesign = errors.New("core: unknown design")
+
+// IsBadInput reports whether err stems from invalid caller input anywhere in
+// the modeling stack — an unknown design, workload kind, clocking scheme,
+// network-unit design or cell-library gate. The evaluation service maps such
+// errors to 400s; anything else on the simulation path degrades or fails.
+// It sees through the parallel pool's PanicError wrapping, so a boundary
+// panic recovered deep inside a worker still classifies correctly.
+func IsBadInput(err error) bool {
+	return errors.Is(err, ErrUnknownDesign) ||
+		errors.Is(err, workload.ErrUnknownKind) ||
+		errors.Is(err, clocking.ErrUnknownScheme) ||
+		errors.Is(err, netunit.ErrUnknownDesign) ||
+		errors.Is(err, sfq.ErrUnknownGate)
+}
 
 // Platform distinguishes the two simulated machine families.
 type Platform int
@@ -80,7 +102,7 @@ func DesignByName(name string) (Design, error) {
 			return d, nil
 		}
 		if d.Platform != SFQ {
-			return Design{}, fmt.Errorf("core: ERSFQ applies only to SFQ designs, not %q", d.Name())
+			return Design{}, fmt.Errorf("%w: ERSFQ applies only to SFQ designs, not %q", ErrUnknownDesign, d.Name())
 		}
 		cfg := d.SFQ
 		cfg.Tech = sfq.ERSFQ
@@ -91,8 +113,8 @@ func DesignByName(name string) (Design, error) {
 	for _, d := range DesignPoints() {
 		names = append(names, d.Name())
 	}
-	return Design{}, fmt.Errorf("core: unknown design %q (have %s, optionally ERSFQ- prefixed)",
-		name, strings.Join(names, ", "))
+	return Design{}, fmt.Errorf("%w %q (have %s, optionally ERSFQ- prefixed)",
+		ErrUnknownDesign, name, strings.Join(names, ", "))
 }
 
 // Evaluation is the unified result of running one workload on one design.
@@ -123,9 +145,17 @@ type Evaluation struct {
 // Evaluate runs the workload at the given batch (0 = the design's max
 // batch) and returns the unified result.
 func Evaluate(d Design, net workload.Network, batch int) (*Evaluation, error) {
+	return EvaluateFaulted(d, net, batch, nil)
+}
+
+// EvaluateFaulted is Evaluate under a fault model. Faults are an SFQ
+// phenomenon — junction spread, thermal pulse drops, bias-margin erosion —
+// so CMOS designs evaluate nominally regardless of the model. A disabled
+// (or nil) model is the exact nominal path.
+func EvaluateFaulted(d Design, net workload.Network, batch int, fm *faultinject.Model) (*Evaluation, error) {
 	switch d.Platform {
 	case SFQ:
-		r, err := npusim.Simulate(d.SFQ, net, batch)
+		r, err := npusim.SimulateFaulted(d.SFQ, net, batch, fm)
 		if err != nil {
 			return nil, err
 		}

@@ -1,15 +1,47 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"supernpu/internal/arch"
+	"supernpu/internal/checkpoint"
 	"supernpu/internal/estimator"
+	"supernpu/internal/faultinject"
 	"supernpu/internal/npusim"
 	"supernpu/internal/parallel"
+	"supernpu/internal/simcache"
 	"supernpu/internal/workload"
 )
+
+// SweepOptions configures the resilience features of the Explore* sweeps.
+// The zero value is the plain nominal sweep.
+type SweepOptions struct {
+	// Fault perturbs every simulation of the sweep (including the Baseline
+	// normalisation references, so speedups compare like with like).
+	Fault *faultinject.Model
+	// Checkpoint, when non-nil, records each completed sweep point under
+	// its content key (config fingerprint + fault key) and skips points
+	// already present — the resume path after a killed run.
+	Checkpoint *checkpoint.Store
+}
+
+// ckSweepPoint is the persisted subset of a SweepPoint; the Config is
+// refilled from the sweep's own input, so it never round-trips through JSON.
+type ckSweepPoint struct {
+	Label       string  `json:"label"`
+	SingleBatch float64 `json:"single_batch"`
+	MaxBatch    float64 `json:"max_batch"`
+	AreaRel     float64 `json:"area_rel"`
+}
+
+// sweepKey is the checkpoint key of one sweep point: the full configuration
+// fingerprint plus the fault-model key, so a resumed run can only reuse
+// points computed under identical modeling conditions.
+func sweepKey(cfg arch.Config, fm *faultinject.Model) string {
+	return "sweep:" + simcache.ConfigKey(cfg) + fm.Key()
+}
 
 // geomean of a slice (the figures' cross-workload aggregate).
 func geomean(xs []float64) float64 {
@@ -38,11 +70,11 @@ type SweepPoint struct {
 }
 
 // baselineThroughputs returns each workload's Baseline batch-1 throughput,
-// the normalisation reference of Figs. 20–22.
-func baselineThroughputs() (map[string]float64, error) {
+// the normalisation reference of Figs. 20–22, under the sweep's fault model.
+func baselineThroughputs(ctx context.Context, fm *faultinject.Model) (map[string]float64, error) {
 	nets := workload.All()
-	tputs, err := parallel.Map(len(nets), func(i int) (float64, error) {
-		r, err := npusim.Simulate(arch.Baseline(), nets[i], 1)
+	tputs, err := parallel.MapContext(ctx, len(nets), func(_ context.Context, i int) (float64, error) {
+		r, err := npusim.SimulateFaulted(arch.Baseline(), nets[i], 1, fm)
 		if err != nil {
 			return 0, err
 		}
@@ -61,15 +93,15 @@ func baselineThroughputs() (map[string]float64, error) {
 // sweep evaluates one configuration against the Baseline reference. The six
 // workloads simulate concurrently; the geomean consumes their speedups in
 // workload order, so the result is bit-identical to a serial evaluation.
-func sweep(cfg arch.Config, base map[string]float64, baseArea float64) (SweepPoint, error) {
+func sweep(ctx context.Context, cfg arch.Config, base map[string]float64, baseArea float64, fm *faultinject.Model) (SweepPoint, error) {
 	nets := workload.All()
 	type speedups struct{ s1, sm float64 }
-	vals, err := parallel.Map(len(nets), func(i int) (speedups, error) {
-		r1, err := npusim.Simulate(cfg, nets[i], 1)
+	vals, err := parallel.MapContext(ctx, len(nets), func(_ context.Context, i int) (speedups, error) {
+		r1, err := npusim.SimulateFaulted(cfg, nets[i], 1, fm)
 		if err != nil {
 			return speedups{}, err
 		}
-		rm, err := npusim.Simulate(cfg, nets[i], 0)
+		rm, err := npusim.SimulateFaulted(cfg, nets[i], 0, fm)
 		if err != nil {
 			return speedups{}, err
 		}
@@ -84,7 +116,7 @@ func sweep(cfg arch.Config, base map[string]float64, baseArea float64) (SweepPoi
 		s1 = append(s1, v.s1)
 		sm = append(sm, v.sm)
 	}
-	est, err := estimator.Estimate(cfg)
+	est, err := estimator.EstimateFaulted(cfg, fm)
 	if err != nil {
 		return SweepPoint{}, err
 	}
@@ -97,24 +129,53 @@ func sweep(cfg arch.Config, base map[string]float64, baseArea float64) (SweepPoi
 	}, nil
 }
 
-// sweepAll evaluates every configuration as one parallel batch of sweep
-// points, preserving input order.
-func sweepAll(cfgs []arch.Config) ([]SweepPoint, error) {
-	base, err := baselineThroughputs()
+// sweepAllOpts evaluates every configuration as one parallel batch of sweep
+// points, preserving input order, with cancellation, fault injection and
+// checkpointing. Checkpointed points are returned without any simulation;
+// when every point is checkpointed, not even the Baseline references are
+// recomputed, so a fully resumed sweep costs zero simulation work.
+func sweepAllOpts(ctx context.Context, cfgs []arch.Config, o SweepOptions) ([]SweepPoint, error) {
+	out := make([]SweepPoint, len(cfgs))
+	var pending []int
+	for i, cfg := range cfgs {
+		var ck ckSweepPoint
+		if o.Checkpoint.Get(sweepKey(cfg, o.Fault), &ck) {
+			out[i] = SweepPoint{Label: ck.Label, SingleBatch: ck.SingleBatch,
+				MaxBatch: ck.MaxBatch, AreaRel: ck.AreaRel, Config: cfg}
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return out, nil
+	}
+	base, err := baselineThroughputs(ctx, o.Fault)
 	if err != nil {
 		return nil, err
 	}
-	bArea, err := baselineArea()
+	bArea, err := baselineArea(o.Fault)
 	if err != nil {
 		return nil, err
 	}
-	return parallel.Map(len(cfgs), func(i int) (SweepPoint, error) {
-		return sweep(cfgs[i], base, bArea)
+	err = parallel.ForEachContext(ctx, len(pending), func(ctx context.Context, k int) error {
+		i := pending[k]
+		p, err := sweep(ctx, cfgs[i], base, bArea, o.Fault)
+		if err != nil {
+			return err
+		}
+		out[i] = p
+		return o.Checkpoint.Put(sweepKey(cfgs[i], o.Fault), ckSweepPoint{
+			Label: p.Label, SingleBatch: p.SingleBatch, MaxBatch: p.MaxBatch, AreaRel: p.AreaRel,
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-func baselineArea() (float64, error) {
-	est, err := estimator.Estimate(arch.Baseline())
+func baselineArea(fm *faultinject.Model) (float64, error) {
+	est, err := estimator.EstimateFaulted(arch.Baseline(), fm)
 	if err != nil {
 		return 0, err
 	}
@@ -125,6 +186,12 @@ func baselineArea() (float64, error) {
 // integration (division 2), then growing division degrees. All sweep points
 // evaluate concurrently.
 func ExploreDivision(degrees []int) ([]SweepPoint, error) {
+	return ExploreDivisionOpts(context.Background(), degrees, SweepOptions{})
+}
+
+// ExploreDivisionOpts is ExploreDivision with cancellation, fault injection
+// and checkpoint/resume.
+func ExploreDivisionOpts(ctx context.Context, degrees []int, o SweepOptions) ([]SweepPoint, error) {
 	integ := arch.BufferOpt()
 	integ.IfmapChunks, integ.OutputChunks = 2, 2
 	integ.Name = "+Integration"
@@ -136,7 +203,7 @@ func ExploreDivision(degrees []int) ([]SweepPoint, error) {
 		c.Name = fmt.Sprintf("+Division %d", d)
 		cfgs = append(cfgs, c)
 	}
-	return sweepAll(cfgs)
+	return sweepAllOpts(ctx, cfgs, o)
 }
 
 // WidthPoint is one Fig. 21 resource-balancing configuration: PE-array
@@ -168,17 +235,29 @@ func widthConfig(width, bufMB, regs int) arch.Config {
 // ExploreWidth reproduces the Fig. 21 sweep over the given points. All
 // sweep points evaluate concurrently.
 func ExploreWidth(points []WidthPoint) ([]SweepPoint, error) {
+	return ExploreWidthOpts(context.Background(), points, SweepOptions{})
+}
+
+// ExploreWidthOpts is ExploreWidth with cancellation, fault injection and
+// checkpoint/resume.
+func ExploreWidthOpts(ctx context.Context, points []WidthPoint, o SweepOptions) ([]SweepPoint, error) {
 	var cfgs []arch.Config
 	for _, wp := range points {
 		cfgs = append(cfgs, widthConfig(wp.Width, wp.BufferMB, 1))
 	}
-	return sweepAll(cfgs)
+	return sweepAllOpts(ctx, cfgs, o)
 }
 
 // ExploreRegisters reproduces the Fig. 22 sweep: registers-per-PE scaling
 // at the given array width with its Fig. 21 buffer capacity. All sweep
 // points evaluate concurrently.
 func ExploreRegisters(width int, regCounts []int) ([]SweepPoint, error) {
+	return ExploreRegistersOpts(context.Background(), width, regCounts, SweepOptions{})
+}
+
+// ExploreRegistersOpts is ExploreRegisters with cancellation, fault
+// injection and checkpoint/resume.
+func ExploreRegistersOpts(ctx context.Context, width int, regCounts []int, o SweepOptions) ([]SweepPoint, error) {
 	bufMB := 46
 	if width == 128 {
 		bufMB = 38
@@ -187,5 +266,5 @@ func ExploreRegisters(width int, regCounts []int) ([]SweepPoint, error) {
 	for _, r := range regCounts {
 		cfgs = append(cfgs, widthConfig(width, bufMB, r))
 	}
-	return sweepAll(cfgs)
+	return sweepAllOpts(ctx, cfgs, o)
 }

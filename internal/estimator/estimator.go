@@ -12,6 +12,7 @@ import (
 	"supernpu/internal/arch"
 	"supernpu/internal/clocking"
 	"supernpu/internal/dau"
+	"supernpu/internal/faultinject"
 	"supernpu/internal/netunit"
 	"supernpu/internal/pe"
 	"supernpu/internal/sfq"
@@ -178,10 +179,32 @@ func Estimate(cfg arch.Config) (*Result, error) {
 	})
 }
 
-// estimate is the uncached three-layer estimation.
-func estimate(cfg arch.Config) (*Result, error) {
-	lib := sfq.NewLibrary(sfq.AIST10(), cfg.Tech)
+// EstimateFaulted is Estimate at a fault-perturbed operating point: the
+// whole three-layer derivation reruns against the faulted cell library, so
+// margin erosion and Ic spread propagate into every unit's frequency, power
+// and energy exactly as a nominal shift would. Results are memoised by
+// (configuration, fault key); a disabled model shares Estimate's cache
+// entries.
+func EstimateFaulted(cfg arch.Config, fm *faultinject.Model) (*Result, error) {
+	if !fm.Enabled() {
+		return Estimate(cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cache.GetOrCompute(simcache.ConfigKey(cfg)+fm.Key(), func() (*Result, error) {
+		return estimateWithLib(cfg, sfq.NewLibraryFaulted(sfq.AIST10(), cfg.Tech, fm))
+	})
+}
 
+// estimate is the uncached three-layer estimation at the nominal library.
+func estimate(cfg arch.Config) (*Result, error) {
+	return estimateWithLib(cfg, sfq.NewLibrary(sfq.AIST10(), cfg.Tech))
+}
+
+// estimateWithLib runs the three-layer estimation against an explicit cell
+// library (nominal or fault-perturbed).
+func estimateWithLib(cfg arch.Config, lib *sfq.Library) (*Result, error) {
 	units := []UnitEstimate{
 		estimatePEArray(cfg, lib),
 		estimateDAU(cfg, lib),

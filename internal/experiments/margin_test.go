@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"supernpu/internal/checkpoint"
+	"supernpu/internal/parallel"
+	"supernpu/internal/simcache"
+)
+
+// smallMarginOpts keeps the sweep cheap: three spreads instead of six.
+func smallMarginOpts(seed int64) MarginSweepOptions {
+	return MarginSweepOptions{
+		Seed:      seed,
+		IcSpreads: []float64{0, 0.04, 0.08},
+	}
+}
+
+func TestMarginSweepByteIdenticalAcrossRunsAndWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	var renders []string
+	for _, w := range []int{1, 4, 1} {
+		parallel.SetWorkers(w)
+		simcache.ClearAll() // force genuine re-simulation per run
+		s, err := MarginSweep(context.Background(), smallMarginOpts(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		renders = append(renders, s)
+	}
+	if renders[0] != renders[1] || renders[1] != renders[2] {
+		t.Fatal("margin sweep output differs across runs/worker counts")
+	}
+	if !strings.Contains(renders[0], "seed 42") {
+		t.Fatalf("exhibit does not name its seed:\n%s", renders[0])
+	}
+}
+
+func TestMarginSweepSeedChangesExhibit(t *testing.T) {
+	simcache.ClearAll()
+	a, err := MarginSweep(context.Background(), smallMarginOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarginSweep(context.Background(), smallMarginOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different seeds produced identical exhibits")
+	}
+}
+
+// totalMisses sums cache misses across every registered simcache.
+func totalMisses(t *testing.T) int64 {
+	t.Helper()
+	var n int64
+	for _, s := range simcache.Snapshot() {
+		n += s.Misses
+	}
+	return n
+}
+
+func TestMarginSweepResumesWithoutResimulating(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "margin.ck")
+	ck, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := smallMarginOpts(9)
+	o.Checkpoint = ck
+	simcache.ClearAll()
+	first, err := MarginSweep(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Len() != len(o.IcSpreads) {
+		t.Fatalf("checkpointed %d rows, want %d", ck.Len(), len(o.IcSpreads))
+	}
+	ck.Close()
+
+	// A fresh process: caches cold, checkpoint reopened. The resumed sweep
+	// must emit the identical exhibit with zero simulation work.
+	simcache.ClearAll()
+	before := totalMisses(t)
+	ck2, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	o.Checkpoint = ck2
+	second, err := MarginSweep(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatal("resumed sweep differs from the original run")
+	}
+	if d := totalMisses(t) - before; d != 0 {
+		t.Fatalf("resumed sweep re-simulated: %d cache misses", d)
+	}
+}

@@ -1,0 +1,117 @@
+package jsim
+
+import (
+	"errors"
+
+	"supernpu/internal/faultinject"
+	"supernpu/internal/parallel"
+	"supernpu/internal/sfq"
+)
+
+// PerturbedJTL builds an n-stage JTL whose junction critical currents carry
+// the fault model's per-site Ic spread: junction i is scaled by
+// IcScale("jsim/jtl/<i>") while the bias network stays tuned to the nominal
+// Ic — exactly the situation of a fabricated chip, where the bias rails are
+// designed against the target process but each junction lands somewhere on
+// the spread. The shunt resistance is re-derived for βc = 1 at the
+// perturbed Ic. A disabled model reproduces StandardJTL exactly.
+func PerturbedJTL(n int, fm *faultinject.Model) *Chain {
+	ch := StandardJTL(n)
+	if !fm.Enabled() {
+		return ch
+	}
+	for i := range ch.Nodes {
+		ic := ch.Nodes[i].JJ.Ic * fm.IcScale("jsim/jtl/"+itoa(i))
+		ch.Nodes[i].JJ = CriticallyDamped(ic, ch.Nodes[i].JJ.C)
+	}
+	return ch
+}
+
+// itoa is a minimal non-negative-int formatter (avoids strconv in hot sites).
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// BiasMarginsFaulted measures the operating bias margins of a JTL whose
+// junctions carry the fault model's C spread: the same bisection as
+// BiasMargins, but over a PerturbedJTL and with the bias rails held at
+// multiples of the nominal (design-point) critical current. Spread narrows
+// the window from both sides — the weakest junction free-runs first at high
+// bias, the strongest one sticks first at low bias — which is the physical
+// quantity the MarginSweep exhibit plots. Results are memoised per fault
+// key; a disabled model shares the nominal BiasMargins entry.
+func BiasMarginsFaulted(fm *faultinject.Model) (Margins, error) {
+	if !fm.Enabled() {
+		return BiasMargins()
+	}
+	v, err := cache.GetOrCompute("bias-margins/10"+fm.Key(), func() (any, error) {
+		return biasMarginsFaulted(fm)
+	})
+	if err != nil {
+		return Margins{}, err
+	}
+	return v.(Margins), nil
+}
+
+func biasMarginsFaulted(fm *faultinject.Model) (Margins, error) {
+	const (
+		stages    = 10
+		nominalIc = 100e-6 // the bias rails are designed against this
+		nominal   = 0.7
+	)
+	works := func(bias float64) bool {
+		ch := PerturbedJTL(stages, fm)
+		for i := range ch.Nodes {
+			ch.Nodes[i].Bias = bias * nominalIc
+		}
+		res, err := ch.Run(140*sfq.Picosecond, 0.05*sfq.Picosecond)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < stages; i++ {
+			if res.Slips(i) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if !works(nominal) {
+		// The spread closed the window at the design point outright: the
+		// chip margin is zero.
+		return Margins{Low: nominal, High: nominal}, nil
+	}
+	bisect := func(bad, good float64) float64 {
+		for i := 0; i < 12; i++ {
+			mid := (bad + good) / 2
+			if works(mid) {
+				good = mid
+			} else {
+				bad = mid
+			}
+		}
+		return good
+	}
+	if works(1.5) {
+		return Margins{}, errors.New("jsim: perturbed JTL still single-pulses at 1.5x Ic; overbias bound not bracketed")
+	}
+	arms, err := parallel.Map(2, func(i int) (float64, error) {
+		if i == 0 {
+			return bisect(0.0, nominal), nil
+		}
+		return bisect(1.5, nominal), nil
+	})
+	if err != nil {
+		return Margins{}, err
+	}
+	return Margins{Low: arms[0], High: arms[1]}, nil
+}

@@ -7,12 +7,18 @@
 package netunit
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"supernpu/internal/clocking"
 	"supernpu/internal/sfq"
 )
+
+// ErrUnknownDesign marks a network-unit design outside the defined
+// SplitterTree2D/SplitterTree1D/Systolic2D set. Boundary code matches it
+// with errors.Is to reject the input.
+var ErrUnknownDesign = errors.New("netunit: unknown design")
 
 // Design identifies one of the three candidate network structures.
 type Design int
@@ -107,7 +113,7 @@ func CriticalPathDelay(d Design, cfg Config, lib *sfq.Library) float64 {
 		return p.CCT(clocking.ConcurrentFlowSkewed)
 
 	default:
-		panic("netunit: unknown design")
+		panic(fmt.Errorf("%w %d", ErrUnknownDesign, int(d)))
 	}
 }
 
@@ -164,7 +170,7 @@ func CellInventory(d Design, cfg Config) sfq.Inventory {
 		// PE-to-PE forwarding latches live inside the PEs themselves.
 		inv.Add(SystolicPerPE(cfg.Bits), 2*w)
 	default:
-		panic("netunit: unknown design")
+		panic(fmt.Errorf("%w %d", ErrUnknownDesign, int(d)))
 	}
 	return inv
 }

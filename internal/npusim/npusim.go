@@ -17,9 +17,11 @@ package npusim
 
 import (
 	"fmt"
+	"math"
 
 	"supernpu/internal/arch"
 	"supernpu/internal/estimator"
+	"supernpu/internal/faultinject"
 	"supernpu/internal/mapper"
 	"supernpu/internal/parallel"
 	"supernpu/internal/sfq"
@@ -162,6 +164,29 @@ type Report struct {
 	Trace Trace
 	// Power is the dynamic power breakdown by source.
 	Power PowerBreakdown
+
+	// Faults summarises injected-fault activity; nil for nominal runs, so
+	// nominal reports are byte-identical to the pre-fault model.
+	Faults *FaultStats
+}
+
+// FaultStats aggregates the run's injected faults and their modelled cost.
+type FaultStats struct {
+	// Model is the fault model's String() rendering.
+	Model string
+	// BitFlips is the count of datapath MACs corrupted by bit flips
+	// (unrecovered; they degrade the accuracy proxy).
+	BitFlips int64
+	// DroppedPulses is the count of shift-register pulses lost to thermal
+	// drops; each forces a chunk recirculation.
+	DroppedPulses int64
+	// RetryCycles is the recirculation cost charged for the drops (already
+	// included in the report's prep cycles and throughput).
+	RetryCycles int64
+	// Accuracy is the first-order inference-accuracy proxy: the compounded
+	// probability, across layers, that an output element saw no corrupted
+	// MAC. 1.0 means no datapath corruption.
+	Accuracy float64
 }
 
 // Trace aggregates the simulator's access trace: what each unit did over
@@ -278,16 +303,57 @@ func Simulate(cfg arch.Config, net workload.Network, batch int) (*Report, error)
 			// resolved-batch entry share one computed report.
 			return Simulate(cfg, net, MaxBatch(cfg, net))
 		}
-		return simulate(cfg, net, batch)
+		return simulate(cfg, net, batch, nil)
 	})
+}
+
+// SimulateFaulted is Simulate under a fault model: the estimator reruns at
+// the perturbed operating point (margin erosion lowers the frequency),
+// thermal pulse drops charge chunk-recirculation retry cycles, datapath bit
+// flips feed the accuracy proxy, and with probability SimFail the whole
+// simulation aborts with a *faultinject.FaultError — the hook the serving
+// pipeline's degraded path exercises. Results are memoised by (config,
+// network, batch, fault key); a disabled model shares Simulate's cache.
+// Every fault draw is site-keyed, so the report is byte-identical across
+// runs and worker counts.
+func SimulateFaulted(cfg arch.Config, net workload.Network, batch int, fm *faultinject.Model) (*Report, error) {
+	if !fm.Enabled() {
+		return Simulate(cfg, net, batch)
+	}
+	if batch < 0 {
+		return nil, fmt.Errorf("npusim: batch %d must be positive", batch)
+	}
+	return cache.GetOrCompute(simcache.SimKey(cfg, net, batch)+fm.Key(), func() (*Report, error) {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if err := net.Validate(); err != nil {
+			return nil, err
+		}
+		if batch == 0 {
+			return SimulateFaulted(cfg, net, MaxBatch(cfg, net), fm)
+		}
+		if site := simSite(cfg, net, batch); fm.FailsSimulation(site) {
+			return nil, &faultinject.FaultError{Site: site}
+		}
+		return simulate(cfg, net, batch, fm)
+	})
+}
+
+// simSite names one (design, network, batch) simulation for fault draws.
+func simSite(cfg arch.Config, net workload.Network, batch int) string {
+	return fmt.Sprintf("npusim/%s/%s/%d", cfg.Name, net.Name, batch)
 }
 
 // simulate is the uncached simulation. Layers are mutually independent —
 // every cycle charge is a function of the layer's own shape — so their
 // LayerStats fan out across workers; the report accumulates them in layer
-// order afterwards, keeping the totals bit-identical to a serial run.
-func simulate(cfg arch.Config, net workload.Network, batch int) (*Report, error) {
-	est, err := estimator.Estimate(cfg)
+// order afterwards, keeping the totals bit-identical to a serial run. A
+// non-nil enabled fault model charges per-layer pulse-drop retries and
+// counts datapath bit flips; every draw is keyed by the layer's own site,
+// so the fan-out order cannot perturb the result.
+func simulate(cfg arch.Config, net workload.Network, batch int, fm *faultinject.Model) (*Report, error) {
+	est, err := estimator.EstimateFaulted(cfg, fm)
 	if err != nil {
 		return nil, err
 	}
@@ -303,13 +369,21 @@ func simulate(cfg arch.Config, net workload.Network, batch int) (*Report, error)
 		idx int // position in net.Layers (0 = network entry)
 		l   workload.Layer
 	}
+	type layerOut struct {
+		st LayerStats
+		// injected-fault tallies for this layer
+		flips, drops, retry int64
+		// cleanFrac is the fraction of the layer's MACs untouched by flips.
+		cleanFrac float64
+	}
 	var jobs []job
 	for i, l := range net.Layers {
 		if l.ComputeLayer() {
 			jobs = append(jobs, job{i, l})
 		}
 	}
-	stats, err := parallel.Map(len(jobs), func(k int) (LayerStats, error) {
+	site := simSite(cfg, net, batch)
+	outs, err := parallel.Map(len(jobs), func(k int) (layerOut, error) {
 		j := jobs[k]
 		st := simulateLayer(cfg, j.l, batch, cpb)
 
@@ -325,13 +399,34 @@ func simulate(cfg arch.Config, net workload.Network, batch int) (*Report, error)
 			st.IfmapMoveCycles += inBytes / int64(width)
 			st.BufferBytes += inBytes
 		}
+
+		o := layerOut{cleanFrac: 1}
+		if fm.Enabled() {
+			lsite := site + "/layer/" + j.l.Name
+			// Thermal pulse drops: every byte streamed through the
+			// shift-register buffers is one shift-in plus one shift-out;
+			// each dropped pulse recirculates the ifmap chunk to replay
+			// the lost entry. The retry cycles land in the ifmap-movement
+			// class, where the replay physically happens.
+			o.drops, o.retry = cfg.IfmapBuf().DropRetryCycles(fm, 2*st.BufferBytes, lsite+"/drop")
+			st.IfmapMoveCycles += o.retry
+			// Datapath bit flips corrupt MACs without costing cycles.
+			o.flips = fm.Count(fm.BitFlip, st.MACs, lsite+"/flip")
+			if st.MACs > 0 {
+				o.cleanFrac = 1 - float64(o.flips)/float64(st.MACs)
+			}
+		}
 		st.resolveStalls()
-		return st, nil
+		o.st = st
+		return o, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, st := range stats {
+	accuracy := 1.0
+	var faults FaultStats
+	for _, o := range outs {
+		st := o.st
 		rep.Layers = append(rep.Layers, st)
 		rep.ComputeCycles += st.ComputeCycles
 		rep.PrepCycles += st.PrepCycles()
@@ -340,6 +435,15 @@ func simulate(cfg arch.Config, net workload.Network, batch int) (*Report, error)
 		rep.Trace.BufferBytes += st.BufferBytes
 		rep.Trace.DRAMBytes += st.DRAMBytes
 		rep.Trace.WeightLoads += st.WeightCycles
+		faults.BitFlips += o.flips
+		faults.DroppedPulses += o.drops
+		faults.RetryCycles += o.retry
+		accuracy *= o.cleanFrac
+	}
+	if fm.Enabled() {
+		faults.Model = fm.String()
+		faults.Accuracy = math.Max(0, accuracy)
+		rep.Faults = &faults
 	}
 	// Final results drain to DRAM.
 	last := net.ComputeLayers()[len(net.ComputeLayers())-1]

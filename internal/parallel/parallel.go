@@ -7,10 +7,25 @@
 // serial and parallel execution. Results are always assembled by index, and
 // the error returned is always the one of the lowest failing index, so
 // output is byte-identical regardless of the worker count.
+//
+// The pool is hardened for long-running and served workloads:
+//
+//   - a panicking job is recovered inside its worker goroutine and surfaces
+//     as a *PanicError carrying the panic value and stack, instead of
+//     killing the process (an http recovery middleware cannot reach a panic
+//     on a different goroutine);
+//   - scheduling fails fast: after the first error or panic, workers stop
+//     claiming new indices, so a failed 10 000-point sweep does not run its
+//     remaining points to completion first; and
+//   - MapContext/ForEachContext observe context cancellation between jobs,
+//     which lets a checkpointed sweep stop cleanly on SIGINT/SIGTERM.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -36,11 +51,57 @@ func Workers() int {
 	return runtime.NumCPU()
 }
 
+// PanicError is a job panic converted into an error. The Error text renders
+// only the panic value — deterministic, so responses that embed it stay
+// byte-stable — while Stack preserves the full worker stack for logs.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Unwrap exposes a panic value that already was an error (panicking with a
+// typed sentinel keeps errors.Is working across the goroutine boundary).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// call runs fn(ctx, i), converting a panic into a *PanicError.
+func call[T any](ctx context.Context, fn func(ctx context.Context, i int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
 // Map evaluates fn for every index in [0, n) using at most Workers()
 // goroutines and returns the results in index order. If any call fails, Map
-// returns the error of the lowest failing index and a nil slice. All
-// scheduled calls run to completion before Map returns.
+// returns the error of the lowest failing index and a nil slice. Scheduling
+// is fail-fast: indices not yet claimed when the first error (or panic)
+// occurs are never run; indices claimed before it always run to completion,
+// which is what keeps the lowest-failing-index contract exact — indices are
+// claimed in increasing order, so everything below the first failure has
+// already been claimed.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapContext is Map with context-aware scheduling: between jobs, workers
+// observe ctx and stop claiming new indices once it is cancelled. When the
+// run is cut short by cancellation (and no job failed first), MapContext
+// returns ctx's error.
+func MapContext[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -51,7 +112,10 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := call(ctx, fn, i)
 			if err != nil {
 				return nil, err
 			}
@@ -62,17 +126,24 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 
 	errs := make([]error, n)
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = call(ctx, fn, i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
@@ -82,14 +153,27 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil && int(next.Load()) < n {
+		return nil, err
+	}
 	return out, nil
 }
 
 // ForEach evaluates fn for every index in [0, n) using at most Workers()
 // goroutines and returns the error of the lowest failing index, if any.
+// Like Map, it recovers job panics and stops scheduling after the first
+// failure.
 func ForEach(n int, fn func(i int) error) error {
 	_, err := Map(n, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// ForEachContext is ForEach with context-aware scheduling.
+func ForEachContext(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := MapContext(ctx, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
 	})
 	return err
 }

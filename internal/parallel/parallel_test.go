@@ -1,12 +1,14 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapPreservesOrder(t *testing.T) {
@@ -126,4 +128,126 @@ func TestWorkersDefaultsToNumCPU(t *testing.T) {
 		t.Fatalf("Workers() after negative set = %d, want NumCPU", got)
 	}
 	SetWorkers(0)
+}
+
+func TestMapRecoversPanickingJob(t *testing.T) {
+	// Regression: a panic inside a worker goroutine used to kill the whole
+	// process (the server's recovery middleware only guards the handler
+	// goroutine). It must now surface as a *PanicError.
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		_, err := Map(20, func(i int) (int, error) {
+			if i == 5 {
+				panic("sfq meltdown")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was swallowed", w)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %T %v, want *PanicError", w, err, err)
+		}
+		if pe.Value != "sfq meltdown" {
+			t.Fatalf("workers=%d: panic value = %v", w, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError carries no stack", w)
+		}
+		if pe.Error() != "panic: sfq meltdown" {
+			t.Fatalf("workers=%d: error text %q not deterministic", w, pe.Error())
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	sentinel := errors.New("typed sentinel")
+	SetWorkers(2)
+	defer SetWorkers(0)
+	_, err := Map(4, func(i int) (int, error) {
+		if i == 2 {
+			panic(sentinel)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is lost the sentinel across the panic boundary: %v", err)
+	}
+}
+
+func TestMapFailsFast(t *testing.T) {
+	// After index 0 errors, workers must stop claiming new indices. The
+	// non-failing jobs sleep long enough that the failure flag is certainly
+	// visible before any worker loops back for more work.
+	const n = 10000
+	SetWorkers(4)
+	defer SetWorkers(0)
+	var executed atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(n, func(i int) (int, error) {
+		executed.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		time.Sleep(10 * time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if ex := executed.Load(); ex > n/10 {
+		t.Fatalf("executed %d of %d jobs after an index-0 failure: not fail-fast", ex, n)
+	}
+}
+
+func TestMapContextCancellationStopsScheduling(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		ctx, cancel := context.WithCancel(context.Background())
+		var executed atomic.Int64
+		const n = 10000
+		_, err := MapContext(ctx, n, func(ctx context.Context, i int) (int, error) {
+			if executed.Add(1) == 3 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", w, err)
+		}
+		if ex := executed.Load(); ex > n/10 {
+			t.Fatalf("workers=%d: executed %d of %d jobs after cancel", w, ex, n)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestMapContextCompletedRunIgnoresLateCancel(t *testing.T) {
+	// A context cancelled only after every index has been claimed must not
+	// turn a fully successful run into an error.
+	SetWorkers(2)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out, err := MapContext(ctx, 8, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil || len(out) != 8 {
+		t.Fatalf("got (%v, %v)", out, err)
+	}
+}
+
+func TestForEachContextPropagatesCancel(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEachContext(ctx, 100, func(ctx context.Context, i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
 }

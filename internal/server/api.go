@@ -91,6 +91,11 @@ type EvaluationResponse struct {
 	MACs          int64   `json:"macs"`
 	PrepFraction  float64 `json:"prepFraction"`
 	ChipPowerW    float64 `json:"chipPowerW"`
+	// Degraded marks a response served by the analytical roofline fallback
+	// after the simulation faulted; DegradedReason says why. Both are absent
+	// from healthy responses, which stay byte-identical to before.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 // ConfigSpec is a full SFQ NPU configuration in the request schema,

@@ -7,10 +7,12 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"runtime/debug"
 	"strings"
 
 	"supernpu/internal/core"
 	"supernpu/internal/estimator"
+	"supernpu/internal/faultinject"
 	"supernpu/internal/parallel"
 	"supernpu/internal/simcache"
 	"supernpu/internal/workload"
@@ -30,7 +32,23 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, apiError{Error: msg})
 }
 
-// handleEvaluate serves POST /v1/evaluate.
+// evaluateSafely runs the faulted evaluation with panics converted into
+// errors, so a simulation that blows up outside the worker pool still reaches
+// the degraded-response path instead of the 500 recovery middleware.
+func evaluateSafely(d core.Design, net workload.Network, batch int, fm *faultinject.Model) (ev *core.Evaluation, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &parallel.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return core.EvaluateFaulted(d, net, batch, fm)
+}
+
+// handleEvaluate serves POST /v1/evaluate. When the (possibly fault-injected)
+// simulation fails or panics, the handler degrades gracefully: it answers 200
+// with the analytical roofline estimate, "degraded": true and the reason,
+// rather than a 5xx — only bad input earns a 400, and 422 is reserved for
+// requests that cannot be evaluated even analytically.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
@@ -42,9 +60,23 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ev, err := core.Evaluate(d, net, req.Batch)
+	ev, err := evaluateSafely(d, net, req.Batch, s.opts.Fault)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		if core.IsBadInput(err) {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		fb, ferr := core.EvaluateAnalytical(d, net, req.Batch)
+		if ferr != nil {
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		s.metrics.degraded.Add(1)
+		s.opts.Logger.Printf("server: degraded evaluation of %s on %s: %v", d.Name(), net.Name, err)
+		resp := evaluationResponse(fb)
+		resp.Degraded = true
+		resp.DegradedReason = err.Error()
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, evaluationResponse(ev))
@@ -64,7 +96,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := estimator.Estimate(cfg)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		status := http.StatusUnprocessableEntity
+		if core.IsBadInput(err) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, estimateResponse(res))
@@ -81,18 +117,25 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The sweep runs under the request context (an abandoned client stops
+	// scheduling new points) and the service's fault model, if any.
+	o := core.SweepOptions{Fault: s.opts.Fault}
 	var pts []core.SweepPoint
 	var err error
 	switch strings.ToLower(req.Sweep) {
 	case "division":
-		pts, err = core.ExploreDivision(req.Degrees)
+		pts, err = core.ExploreDivisionOpts(r.Context(), req.Degrees, o)
 	case "width":
-		pts, err = core.ExploreWidth(core.Fig21Points())
+		pts, err = core.ExploreWidthOpts(r.Context(), core.Fig21Points(), o)
 	case "registers":
-		pts, err = core.ExploreRegisters(req.Width, req.Registers)
+		pts, err = core.ExploreRegistersOpts(r.Context(), req.Width, req.Registers, o)
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		status := http.StatusUnprocessableEntity
+		if core.IsBadInput(err) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, sweepResponse(req.Sweep, pts))
@@ -150,6 +193,8 @@ type statsResponse struct {
 	Rejected      int64            `json:"rejected"`
 	Requests      int64            `json:"requests"`
 	Panics        int64            `json:"panics"`
+	Degraded      int64            `json:"degraded"`
+	FaultModel    string           `json:"faultModel"`
 	SimsInFlight  int64            `json:"simsInFlight"`
 	Caches        []cacheStatsJSON `json:"caches"`
 }
@@ -177,6 +222,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:      s.metrics.rejected.Value(),
 		Requests:      s.metrics.requests.Value(),
 		Panics:        s.metrics.panics.Value(),
+		Degraded:      s.metrics.degraded.Value(),
+		FaultModel:    s.opts.Fault.String(),
 		SimsInFlight:  simcache.TotalInFlight(),
 		Caches:        make([]cacheStatsJSON, 0, 4),
 	}

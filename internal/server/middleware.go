@@ -22,6 +22,7 @@ type metrics struct {
 	queued   *expvar.Int // gauge: requests waiting for a work slot
 	rejected *expvar.Int // 429 responses from the limiter
 	panics   *expvar.Int // handler panics recovered to 500
+	degraded *expvar.Int // evaluations served by the analytical fallback
 }
 
 // globalMetrics is built at package init; expvar names are process-global.
@@ -31,6 +32,7 @@ var globalMetrics = &metrics{
 	queued:   expvar.NewInt("supernpu.server.queued"),
 	rejected: expvar.NewInt("supernpu.server.rejected"),
 	panics:   expvar.NewInt("supernpu.server.panics"),
+	degraded: expvar.NewInt("supernpu.server.degraded"),
 }
 
 // init mirrors the simulation caches' in-flight gauge into expvar: the

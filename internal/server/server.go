@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"supernpu/internal/faultinject"
 	"supernpu/internal/parallel"
 )
 
@@ -49,6 +50,11 @@ type Options struct {
 	Timeout time.Duration
 	// Logger receives one line per request. Default: log.Default().
 	Logger *log.Logger
+	// Fault, when non-nil and enabled, injects the seeded SFQ fault model
+	// into every simulation the service runs — evaluations and sweeps alike.
+	// A simulation aborted by an injected fault does not 500: /v1/evaluate
+	// degrades to the analytical roofline estimate with "degraded": true.
+	Fault *faultinject.Model
 }
 
 // withDefaults fills unset options.

@@ -1,0 +1,38 @@
+package sfq
+
+import "supernpu/internal/faultinject"
+
+// NewLibraryFaulted builds the cell library at a fault-perturbed operating
+// point. Per gate kind (the site is "sfq/gate/<kind>", so a draw depends
+// only on the kind, never on call order):
+//
+//   - every timing arc (delay, setup, hold) stretches by DelayScale — the
+//     Ic-spread slowdown of an underbiased junction compounded with the
+//     model's margin erosion — which lowers the frequency the clocking
+//     model derives for every unit built from the gate; and
+//   - the per-access switching energy scales with the local critical
+//     current (a fluxon carries Ic·Φ0-proportional energy), via SwitchedJJs.
+//
+// The process bias point is retuned to the chip-mean Ic draw (site
+// "sfq/process/bias"), shifting static power and per-JJ switching energy
+// together. A disabled model returns the exact nominal library.
+func NewLibraryFaulted(p Process, tech Technology, fm *faultinject.Model) *Library {
+	if !fm.Enabled() {
+		return NewLibrary(p, tech)
+	}
+	biasScale := fm.IcScale("sfq/process/bias")
+	p.BiasCurrentPerJJ *= biasScale
+	p.SwitchEnergyPerJJ *= biasScale
+
+	l := NewLibrary(p, tech)
+	for k, gate := range l.gates {
+		site := "sfq/gate/" + string(k)
+		ds := fm.DelayScale(site)
+		gate.Delay *= ds
+		gate.Setup *= ds
+		gate.Hold *= ds
+		gate.SwitchedJJs *= fm.IcScale(site)
+		l.gates[k] = gate
+	}
+	return l
+}

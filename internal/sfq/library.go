@@ -1,6 +1,7 @@
 package sfq
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -109,12 +110,28 @@ func NewLibrary(p Process, tech Technology) *Library {
 	return &Library{Proc: p, Tech: tech, gates: g}
 }
 
-// Gate returns the named cell. It panics on an unknown kind: the library is
-// a closed, compile-time-known set and a miss is a programming error.
-func (l *Library) Gate(k GateKind) Gate {
+// ErrUnknownGate marks a gate kind absent from the cell library. Boundary
+// code matches it with errors.Is to reject the input.
+var ErrUnknownGate = errors.New("sfq: unknown gate kind")
+
+// Lookup returns the named cell, or an ErrUnknownGate-wrapped error for a
+// kind the library does not hold.
+func (l *Library) Lookup(k GateKind) (Gate, error) {
 	g, ok := l.gates[k]
 	if !ok {
-		panic(fmt.Sprintf("sfq: unknown gate kind %q", k))
+		return Gate{}, fmt.Errorf("%w %q", ErrUnknownGate, k)
+	}
+	return g, nil
+}
+
+// Gate returns the named cell. It panics on an unknown kind: the library is
+// a closed, compile-time-known set and a miss is a programming error. The
+// panic value wraps ErrUnknownGate, so errors.Is still identifies it after
+// the parallel pool's panic recovery.
+func (l *Library) Gate(k GateKind) Gate {
+	g, err := l.Lookup(k)
+	if err != nil {
+		panic(err)
 	}
 	return g
 }

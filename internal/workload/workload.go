@@ -11,8 +11,15 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 )
+
+// ErrUnknownKind marks a layer kind outside the defined Conv/DepthwiseConv/
+// FullyConnected/Pool set. Boundary code (the evaluation service, CLI flag
+// parsing) matches it with errors.Is to reject the input instead of
+// crashing.
+var ErrUnknownKind = errors.New("workload: unknown kind")
 
 // Kind classifies a layer for the mapper.
 type Kind int
@@ -62,6 +69,9 @@ type Layer struct {
 
 // Validate reports a shape error, if any.
 func (l Layer) Validate() error {
+	if l.Kind < Conv || l.Kind > Pool {
+		return fmt.Errorf("%w %q in layer %q", ErrUnknownKind, l.Kind, l.Name)
+	}
 	if l.H <= 0 || l.W <= 0 || l.C <= 0 || l.R <= 0 || l.S <= 0 || l.M <= 0 || l.Stride <= 0 || l.Pad < 0 {
 		return fmt.Errorf("workload: layer %q has non-positive dimensions: %+v", l.Name, l)
 	}
@@ -91,7 +101,9 @@ func (l Layer) MACs() int64 {
 	case Pool:
 		return 0
 	default:
-		panic("workload: unknown kind")
+		// Panicking with the sentinel keeps errors.Is working across the
+		// parallel pool's panic-recovery boundary.
+		panic(fmt.Errorf("%w %q in layer %q", ErrUnknownKind, l.Kind, l.Name))
 	}
 }
 

@@ -24,14 +24,17 @@
 package supernpu
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"supernpu/internal/arch"
+	"supernpu/internal/checkpoint"
 	"supernpu/internal/core"
 	"supernpu/internal/dau"
 	"supernpu/internal/estimator"
 	"supernpu/internal/experiments"
+	"supernpu/internal/faultinject"
 	"supernpu/internal/parallel"
 	"supernpu/internal/scalesim"
 	"supernpu/internal/sfq"
@@ -155,6 +158,66 @@ func ExploreWidth() ([]SweepPoint, error) { return core.ExploreWidth(core.Fig21P
 // ExploreRegisters sweeps registers per PE at a given array width (Fig. 22).
 func ExploreRegisters(width int, regs []int) ([]SweepPoint, error) {
 	return core.ExploreRegisters(width, regs)
+}
+
+// FaultModel is the deterministic, seed-keyed SFQ fault model: critical-
+// current spread, thermal pulse drops, datapath bit flips, timing-margin
+// erosion and whole-simulation aborts, every draw a pure function of
+// (seed, site). A nil or zero-rate model is exactly the nominal path.
+type FaultModel = faultinject.Model
+
+// SweepOptions carries the resilience knobs of the exploration sweeps:
+// a fault model and a checkpoint store for kill/resume.
+type SweepOptions = core.SweepOptions
+
+// Checkpoint is a crash-tolerant snapshot store for long sweeps: completed
+// points append to a JSONL file and a resumed run skips them entirely.
+type Checkpoint = checkpoint.Store
+
+// OpenCheckpoint opens (creating if absent) a checkpoint file.
+func OpenCheckpoint(path string) (*Checkpoint, error) { return checkpoint.Open(path) }
+
+// EvaluateWithFaults is Evaluate under a fault model: junction spread
+// perturbs the operating point, pulse drops charge recirculation cycles,
+// bit flips degrade the accuracy proxy. CMOS designs always run nominally.
+func EvaluateWithFaults(d Design, net Network, batch int, fm *FaultModel) (*Evaluation, error) {
+	return core.EvaluateFaulted(d, net, batch, fm)
+}
+
+// EvaluateAnalytical is the graceful-degradation roofline estimate of an SFQ
+// design — no cycle simulation; the evaluation service falls back to it when
+// a fault-injected simulation aborts.
+func EvaluateAnalytical(d Design, net Network, batch int) (*Evaluation, error) {
+	return core.EvaluateAnalytical(d, net, batch)
+}
+
+// ExploreDivisionOpts is ExploreDivision with cancellation, fault injection
+// and checkpoint/resume.
+func ExploreDivisionOpts(ctx context.Context, degrees []int, o SweepOptions) ([]SweepPoint, error) {
+	return core.ExploreDivisionOpts(ctx, degrees, o)
+}
+
+// ExploreWidthOpts is ExploreWidth with cancellation, fault injection and
+// checkpoint/resume.
+func ExploreWidthOpts(ctx context.Context, o SweepOptions) ([]SweepPoint, error) {
+	return core.ExploreWidthOpts(ctx, core.Fig21Points(), o)
+}
+
+// ExploreRegistersOpts is ExploreRegisters with cancellation, fault
+// injection and checkpoint/resume.
+func ExploreRegistersOpts(ctx context.Context, width int, regs []int, o SweepOptions) ([]SweepPoint, error) {
+	return core.ExploreRegistersOpts(ctx, width, regs, o)
+}
+
+// MarginSweepOptions configures the bias-margin robustness exhibit.
+type MarginSweepOptions = experiments.MarginSweepOptions
+
+// MarginSweep regenerates the bias-margin-vs-throughput/accuracy exhibit:
+// SuperNPU on ResNet-50 swept over junction critical-current spread under
+// the seeded fault model. Byte-identical across runs and worker counts for
+// a fixed seed; checkpointed rows are never re-simulated.
+func MarginSweep(ctx context.Context, o MarginSweepOptions) (string, error) {
+	return experiments.MarginSweep(ctx, o)
 }
 
 // ExperimentIDs lists the reproducible paper exhibits (fig5 … table3).
