@@ -9,15 +9,28 @@ COVER_FLOOR ?= 70
 # Per-target budget for the fuzz smoke pass (make fuzz).
 FUZZTIME ?= 15s
 
-.PHONY: check build vet test race bench bench-sweep repro serve cover fuzz fault-smoke race-resilience golden-update clean
+.PHONY: check build vet test race bench bench-sweep repro serve cover fuzz fault-smoke race-resilience golden-update clean lint fmt-check
 
-check: build vet race
+check: build lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Formatting drift gate: fail with the offending file list instead of
+# letting unformatted code merge silently.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt drift — run gofmt -w on:"; echo "$$out"; exit 1; \
+	fi
+
+# Full static-analysis gate: formatting, go vet, then the domain rulebook
+# (internal/lint) that machine-checks the determinism/concurrency/error
+# contracts. Findings are suppressed in place with //lint:allow(rule).
+lint: fmt-check vet
+	$(GO) run ./cmd/supernpu-lint
 
 test:
 	$(GO) test ./...

@@ -94,12 +94,19 @@ func openCheckpoint(path string, resume bool) (*supernpu.Checkpoint, error) {
 	return supernpu.OpenCheckpoint(path)
 }
 
-func run(ctx context.Context, sweep string, width int, seed int64, icSpread, pulseDrop, bitFlip, erosion float64, ckPath string, resume bool) error {
-	ck, err := openCheckpoint(ckPath, resume)
-	if err != nil {
-		return err
+func run(ctx context.Context, sweep string, width int, seed int64, icSpread, pulseDrop, bitFlip, erosion float64, ckPath string, resume bool) (err error) {
+	ck, cerr := openCheckpoint(ckPath, resume)
+	if cerr != nil {
+		return cerr
 	}
-	defer ck.Close()
+	// A close failure means the checkpoint tail may not be durable, which
+	// would corrupt a later -resume; surface it unless the sweep already
+	// failed for another reason.
+	defer func() {
+		if cerr := ck.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	if sweep == "margin" {
 		out, err := supernpu.MarginSweep(ctx, supernpu.MarginSweepOptions{

@@ -120,10 +120,24 @@ func (s *Store) Len() int {
 	return len(s.done)
 }
 
-// Close closes the underlying file. A nil store closes trivially.
+// Close syncs and closes the underlying file, wrapping any failure so
+// callers can both detect the subsystem (the "checkpoint:" prefix) and
+// unwrap the cause (errors.Is(err, os.ErrClosed) after a double close).
+// A dropped sync-on-close error would mean silently resuming from a file
+// missing its tail, so sweeps must propagate this error, not defer it
+// away. A nil store closes trivially.
 func (s *Store) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.f.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("checkpoint: sync on close: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	return nil
 }

@@ -1,8 +1,10 @@
 package checkpoint
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -101,5 +103,52 @@ func TestNilStoreIsInert(t *testing.T) {
 	}
 	if s.Len() != 0 || s.Close() != nil {
 		t.Fatal("nil store not inert")
+	}
+}
+
+// TestClosedFileSurfacesWrappedErrors drives the store against a closed
+// file double: once the descriptor is gone, the append path and a second
+// Close must both return errors that carry the "checkpoint:" prefix and
+// still unwrap to os.ErrClosed — not vanish best-effort.
+func TestClosedFileSurfacesWrappedErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", point{"A", 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+
+	if err := s.Put("b", point{"B", 2.5}); err == nil {
+		t.Fatal("Put on a closed store reported success")
+	} else {
+		if !strings.HasPrefix(err.Error(), "checkpoint:") {
+			t.Errorf("Put error %q lacks the checkpoint: prefix", err)
+		}
+		if !errors.Is(err, os.ErrClosed) {
+			t.Errorf("Put error %q does not unwrap to os.ErrClosed", err)
+		}
+	}
+
+	if err := s.Close(); err == nil {
+		t.Fatal("second close reported success")
+	} else {
+		if !strings.HasPrefix(err.Error(), "checkpoint:") {
+			t.Errorf("Close error %q lacks the checkpoint: prefix", err)
+		}
+		if !errors.Is(err, os.ErrClosed) {
+			t.Errorf("Close error %q does not unwrap to os.ErrClosed", err)
+		}
+	}
+
+	// The failed Put must not have been indexed: a caller that retries
+	// after reopening should re-run the point, not trust a phantom entry.
+	var p point
+	if s.Get("b", &p) {
+		t.Error("failed Put left a phantom entry in the index")
 	}
 }

@@ -98,6 +98,8 @@ func (p Pair) ClockDelay() float64 {
 func (p Pair) Mismatch() float64 { return wireDelay(p.MismatchWire) }
 
 // CCT returns the minimum clock cycle time of the pair under scheme s.
+// It panics with ErrUnknownScheme on an out-of-range scheme — a programmer
+// error, since Scheme is a closed compile-time-known set.
 func (p Pair) CCT(s Scheme) float64 {
 	switch s {
 	case ConcurrentFlowSkewed:

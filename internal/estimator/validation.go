@@ -114,7 +114,9 @@ func (r Report) MaxError() float64 {
 }
 
 // Validate runs the estimator on each Fig. 13 subject and compares against
-// the measurement fixtures.
+// the measurement fixtures. It panics if a reference row names a subject
+// with no model: the table and the models are compile-time-known and a
+// miss is a programmer error, not an input error.
 func Validate() Report {
 	mac := EstimateMAC(pe.Config{Bits: 4, AccBits: 12, Registers: 1, Dataflow: pe.WeightStationary}, sfq.RSFQ)
 	sr := EstimateSRMem(srmem.Config{WidthBytes: 1, CapacityBytes: 8, Chunks: 1}, sfq.RSFQ)

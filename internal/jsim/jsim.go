@@ -217,6 +217,7 @@ func (r *Result) PulseTimes(node int) []float64 {
 			// Linear interpolation of the crossing instant.
 			p0, p1 := r.Phases[s-1][node], r.Phases[s][node]
 			frac := 0.0
+			//lint:allow(floateq) exact guard against a zero division, not a tolerance check
 			if p1 != p0 {
 				frac = (next - p0) / (p1 - p0)
 			}

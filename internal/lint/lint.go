@@ -1,0 +1,276 @@
+// Package lint is the repository's machine-checked rulebook: a static
+// analyzer, built only on the standard library's go/parser, go/ast, and
+// go/types (no golang.org/x/tools), that loads every package in the module
+// and enforces the determinism, concurrency, and error-handling contracts
+// the evaluation pipeline depends on but no compiler checks.
+//
+// The exhibits must be byte-identical across runs and worker counts, fault
+// outcomes must be pure functions of (seed, site), and cache keys must be
+// injective over simulation inputs. Each of those contracts has already
+// been violated once by accident (a 1-ULP chip-power wobble from float
+// accumulation over unordered map iteration), so instead of relying on
+// golden-test luck the rules here reject the bug classes at the source
+// level:
+//
+//	maporder        float accumulation, unsorted appends, or output writes
+//	                under range-over-map iteration
+//	nondeterminism  time.Now, math/rand, and map-argument fmt printing in
+//	                the modeling packages
+//	nakedgo         raw go statements outside the panic-recovering pool
+//	                and the server
+//	panicboundary   panics in internal packages outside documented
+//	                invariant helpers
+//	floateq         == / != between computed floating-point operands
+//	cachekey        simcache key builders that skip exported fields of the
+//	                structs they fingerprint
+//
+// False positives are silenced in place with a
+//
+//	//lint:allow(rule) reason...
+//
+// comment on the offending line or the line directly above it; the reason
+// is mandatory by convention and reviewed like any other code.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic. Both severities fail a lint run; the split
+// exists so output consumers can distinguish contract violations (error)
+// from strong-suspicion heuristics (warning).
+type Severity int
+
+const (
+	// Warning marks heuristic findings: almost always a bug, but with
+	// known legitimate shapes that a reviewed //lint:allow can bless.
+	Warning Severity = iota
+	// Error marks contract violations with no legitimate in-tree shape.
+	Error
+)
+
+// String returns the lowercase name used in text and JSON output.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON encodes the severity as its string name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s (%s)", d.File, d.Line, d.Col, d.Severity, d.Message, d.Rule)
+}
+
+// Rule is one named check over a type-checked package.
+type Rule interface {
+	// Name is the identifier used in output and //lint:allow comments.
+	Name() string
+	// Doc is a one-line statement of the contract the rule protects.
+	Doc() string
+	// Severity classifies every diagnostic the rule emits.
+	Severity() Severity
+	// Check inspects one package and reports findings through the pass.
+	Check(p *Pass)
+}
+
+// Pass hands one package to one rule and collects its findings.
+type Pass struct {
+	Pkg    *Package
+	rule   Rule
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at node's position.
+func (p *Pass) Reportf(node ast.Node, format string, args ...any) {
+	pos := p.Pkg.Fset.Position(node.Pos())
+	p.report(Diagnostic{
+		Rule:     p.rule.Name(),
+		Severity: p.rule.Severity(),
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Rules returns the full registry in its canonical order. The slice is
+// freshly allocated; callers may filter it.
+func Rules() []Rule {
+	return []Rule{
+		&mapOrderRule{},
+		&nondeterminismRule{},
+		&nakedGoRule{},
+		&panicBoundaryRule{},
+		&floatEqRule{},
+		&cacheKeyRule{},
+	}
+}
+
+// RuleByName returns the registered rule with the given name, or nil.
+func RuleByName(name string) Rule {
+	for _, r := range Rules() {
+		if r.Name() == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of running a rule set over a package set.
+type Result struct {
+	// Diags holds every unsuppressed finding, sorted by file, line,
+	// column, then rule.
+	Diags []Diagnostic
+	// Suppressed counts findings silenced by //lint:allow comments.
+	Suppressed int
+}
+
+// Errors reports how many diagnostics carry Error severity.
+func (r Result) Errors() int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// allowRe matches one //lint:allow(rule1,rule2) comment; everything after
+// the closing parenthesis is the human-facing justification.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\(([^)]*)\)`)
+
+// suppressions maps file -> line -> rule names allowed on that line. An
+// allow comment covers its own line and the line directly below it, so it
+// works both inline and as a standalone comment above the finding.
+type suppressions map[string]map[int][]string
+
+func collectSuppressions(pkg *Package) suppressions {
+	sup := suppressions{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					sup[pos.Filename] = byLine
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], name)
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], name)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) allows(d Diagnostic) bool {
+	for _, name := range s[d.File][d.Line] {
+		if name == d.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every rule to every package and returns the merged, sorted,
+// suppression-filtered result.
+func Run(pkgs []*Package, rules []Rule) Result {
+	var res Result
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, rule := range rules {
+			pass := &Pass{Pkg: pkg, rule: rule}
+			pass.report = func(d Diagnostic) {
+				if sup.allows(d) {
+					res.Suppressed++
+					return
+				}
+				res.Diags = append(res.Diags, d)
+			}
+			rule.Check(pass)
+		}
+	}
+	sort.Slice(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i], res.Diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return res
+}
+
+// WriteText renders the result one finding per line, with a trailing
+// summary, in a stable order suitable for diffing in CI logs.
+func WriteText(w io.Writer, res Result) {
+	for _, d := range res.Diags {
+		fmt.Fprintln(w, d)
+	}
+	fmt.Fprintf(w, "lint: %d finding(s) (%d error, %d warning), %d suppressed\n",
+		len(res.Diags), res.Errors(), len(res.Diags)-res.Errors(), res.Suppressed)
+}
+
+// jsonReport is the stable JSON output schema; the shape is covered by
+// TestJSONOutputSchema and consumed by CI annotations.
+type jsonReport struct {
+	Diagnostics []Diagnostic   `json:"diagnostics"`
+	Counts      map[string]int `json:"counts"`
+	Suppressed  int            `json:"suppressed"`
+}
+
+// WriteJSON renders the result as a single JSON object.
+func WriteJSON(w io.Writer, res Result) error {
+	rep := jsonReport{
+		Diagnostics: res.Diags,
+		Counts: map[string]int{
+			"error":   res.Errors(),
+			"warning": len(res.Diags) - res.Errors(),
+		},
+		Suppressed: res.Suppressed,
+	}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,289 @@
+// Shared AST/type helpers and the single-pattern rules: nondeterminism,
+// nakedgo, panicboundary, and floateq. The two structural rules (maporder,
+// cachekey) live in their own files.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// isFloat reports whether t's core type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMap reports whether t's core type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// calleeFunc resolves a call expression to the function object it invokes,
+// or nil for builtins, function values, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// calleeFullName returns the resolved callee's FullName ("time.Now",
+// "(*strings.Builder).WriteString"), or "".
+func calleeFullName(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.FullName()
+	}
+	return ""
+}
+
+// identObj resolves an expression to the object of the identifier it
+// denotes, unwrapping parentheses and unary & / *; nil when the expression
+// is not a plain (possibly addressed) identifier.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return identObj(info, e.X)
+		}
+	case *ast.StarExpr:
+		return identObj(info, e.X)
+	}
+	return nil
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// [lo, hi] source range — i.e. the object outlives the statement being
+// inspected.
+func declaredOutside(obj types.Object, lo, hi token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lo || obj.Pos() > hi
+}
+
+// eachFuncDecl invokes fn for every function declaration in the package.
+func eachFuncDecl(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn(f, fd)
+			}
+		}
+	}
+}
+
+// modelingPackages names the packages whose outputs feed exhibits and
+// must therefore be pure functions of their inputs.
+var modelingPackages = map[string]bool{
+	"jsim":        true,
+	"sfq":         true,
+	"estimator":   true,
+	"npusim":      true,
+	"scalesim":    true,
+	"faultinject": true,
+	"experiments": true,
+}
+
+// fmtPrinters is the set of fmt functions whose map-argument output used
+// to depend on iteration order and still reads as "serialise this map";
+// the modeling packages must serialise maps through an explicit sorted
+// walk instead.
+var fmtPrinters = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Sprint": true, "fmt.Sprintf": true, "fmt.Sprintln": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"fmt.Errorf": true, "fmt.Append": true, "fmt.Appendf": true, "fmt.Appendln": true,
+}
+
+// nondeterminismRule forbids wall-clock reads, math/rand, and map-argument
+// fmt printing inside the modeling packages. Simulator and estimator
+// outputs must be pure functions of their configs; randomness comes only
+// from the seeded fault model and timing only from the simulated clock.
+type nondeterminismRule struct{}
+
+func (nondeterminismRule) Name() string { return "nondeterminism" }
+func (nondeterminismRule) Doc() string {
+	return "modeling packages must be pure: no time.Now, no math/rand, no fmt printing of maps"
+}
+func (nondeterminismRule) Severity() Severity { return Error }
+
+func (r nondeterminismRule) Check(p *Pass) {
+	if !modelingPackages[p.Pkg.Name] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp, "modeling package %s imports %s; all randomness must flow through the seeded fault model", p.Pkg.Name, path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeFullName(p.Pkg.Info, call)
+			switch {
+			case name == "time.Now":
+				p.Reportf(call, "modeling package %s reads the wall clock; outputs must be pure functions of the configuration", p.Pkg.Name)
+			case fmtPrinters[name]:
+				for _, arg := range call.Args {
+					if tv, ok := p.Pkg.Info.Types[arg]; ok && isMap(tv.Type) {
+						p.Reportf(arg, "%s receives a map argument; serialise maps through a sorted key walk so exhibit bytes cannot depend on iteration order", name)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// goExemptPackages may spawn raw goroutines: internal/parallel is the
+// panic-recovering pool every fan-out must go through, and internal/server
+// owns the accept loop and graceful-drain machinery.
+var goExemptPackages = map[string]bool{
+	"supernpu/internal/parallel": true,
+	"supernpu/internal/server":   true,
+}
+
+// nakedGoRule forbids go statements everywhere else: a bare goroutine that
+// panics takes the whole sweep process down instead of failing one work
+// item, and escapes the pool's context cancellation and bounded fan-out.
+type nakedGoRule struct{}
+
+func (nakedGoRule) Name() string { return "nakedgo" }
+func (nakedGoRule) Doc() string {
+	return "goroutines outside internal/parallel and internal/server must use the panic-recovering pool"
+}
+func (nakedGoRule) Severity() Severity { return Error }
+
+func (r nakedGoRule) Check(p *Pass) {
+	if goExemptPackages[p.Pkg.Path] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g, "raw go statement; route fan-out through internal/parallel so panics are captured and cancellation propagates")
+			}
+			return true
+		})
+	}
+}
+
+// panicBoundaryRule forbids panics in internal packages unless the
+// enclosing function documents them. With typed sentinels available for
+// every boundary, a panic is only legitimate as a programmer-error trap on
+// an invariant — and then the function's doc comment must say so (contain
+// the word "panic"), making the trap part of the reviewed contract.
+type panicBoundaryRule struct{}
+
+func (panicBoundaryRule) Name() string { return "panicboundary" }
+func (panicBoundaryRule) Doc() string {
+	return "panics in internal packages are allowed only in functions whose doc comment documents them"
+}
+func (panicBoundaryRule) Severity() Severity { return Error }
+
+func (r panicBoundaryRule) Check(p *Pass) {
+	if !strings.Contains(p.Pkg.Path+"/", "/internal/") {
+		return
+	}
+	eachFuncDecl(p.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		documented := fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic")
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			// Panics inside function literals (e.g. a re-panic in a
+			// recover wrapper) are judged against the same enclosing
+			// declaration's doc.
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && p.Pkg.Info.Uses[id] == types.Universe.Lookup("panic") {
+				if !documented {
+					p.Reportf(call, "%s panics but its doc comment does not say so; return a typed sentinel or document the invariant", fd.Name.Name)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// floatEqRule flags == and != between floating-point operands. Exact
+// equality of two computed floats is almost always a latent 1-ULP bug;
+// comparisons against a constant (zero-value sentinels, flag defaults) are
+// exempt, as is the x != x NaN probe.
+type floatEqRule struct{}
+
+func (floatEqRule) Name() string { return "floateq" }
+func (floatEqRule) Doc() string {
+	return "computed floating-point values must not be compared with == or !="
+}
+func (floatEqRule) Severity() Severity { return Warning }
+
+func (r floatEqRule) Check(p *Pass) {
+	info := p.Pkg.Info
+	isConst := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && tv.Value != nil
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := info.Types[be.X].Type, info.Types[be.Y].Type
+			if !isFloat(xt) && !isFloat(yt) {
+				return true
+			}
+			if isConst(be.X) || isConst(be.Y) {
+				return true
+			}
+			if be.Op == token.NEQ && sameSimpleExpr(be.X, be.Y) {
+				return true // x != x is the canonical NaN check
+			}
+			p.Reportf(be, "floating-point %s comparison; compare with an epsilon or restructure to avoid exact equality", be.Op)
+			return true
+		})
+	}
+}
+
+// sameSimpleExpr reports whether two expressions are the identical chain
+// of identifiers and field selections.
+func sameSimpleExpr(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		bid, ok := b.(*ast.Ident)
+		return ok && a.Name == bid.Name
+	case *ast.SelectorExpr:
+		bs, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bs.Sel.Name && sameSimpleExpr(a.X, bs.X)
+	}
+	return false
+}

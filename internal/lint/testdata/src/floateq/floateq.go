@@ -1,0 +1,35 @@
+// Fixture for the floateq rule: computed-operand comparisons are
+// findings, constant sentinels and the NaN probe are not.
+package floats
+
+func equalPower(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func changed(prev, next float32) bool {
+	return prev != next // want "floating-point != comparison"
+}
+
+func sumDrifted(xs []float64, want float64) bool {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum == want // want "floating-point == comparison"
+}
+
+func isNaN(x float64) bool {
+	return x != x // ok: the canonical NaN probe
+}
+
+func isUnset(x float64) bool {
+	return x == 0 // ok: zero-value sentinel against a constant
+}
+
+func isDefaultBandwidth(x float64) bool {
+	return x == 300e9 // ok: constant comparison
+}
+
+func intEqual(a, b int) bool {
+	return a == b // ok: not floating point
+}

@@ -1,0 +1,77 @@
+// Fixture for the maporder rule: each seeded violation carries a want
+// comment; the compliant shapes below them must stay silent.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func sumCompound(gates map[string]float64) float64 {
+	total := 0.0
+	for _, p := range gates {
+		total += p // want "float accumulation"
+	}
+	return total
+}
+
+func sumAssigned(gates map[string]float64) float64 {
+	total := 0.0
+	for _, p := range gates {
+		total = total + p // want "float accumulation"
+	}
+	return total
+}
+
+func collectUnsorted(gates map[string]float64) []string {
+	var names []string
+	for n := range gates {
+		names = append(names, n) // want "without a following sort"
+	}
+	return names
+}
+
+func collectSorted(gates map[string]float64) []string {
+	var names []string
+	for n := range gates {
+		names = append(names, n) // ok: sorted before use
+	}
+	sort.Strings(names)
+	return names
+}
+
+func printDuring(gates map[string]float64) {
+	for n := range gates {
+		fmt.Println(n) // want "emission order"
+	}
+}
+
+func writeDuring(gates map[string]float64) string {
+	var b strings.Builder
+	for n := range gates {
+		b.WriteString(n) // want "emission order"
+	}
+	return b.String()
+}
+
+func sortThenAccumulate(gates map[string]float64) float64 {
+	keys := make([]string, 0, len(gates))
+	for k := range gates {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += gates[k] // ok: iterating the sorted slice
+	}
+	return total
+}
+
+func countEntries(gates map[string]float64) int {
+	n := 0
+	for range gates {
+		n++ // ok: integer counting is order-independent
+	}
+	return n
+}

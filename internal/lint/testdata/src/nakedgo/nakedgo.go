@@ -1,0 +1,19 @@
+// Fixture for the nakedgo rule: any go statement outside the exempt
+// packages is a finding.
+package workers
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want "raw go statement"
+	}
+}
+
+func inline() {
+	go func() {}() // want "raw go statement"
+}
+
+func sequential(work []func()) {
+	for _, w := range work {
+		w() // ok: no goroutine
+	}
+}

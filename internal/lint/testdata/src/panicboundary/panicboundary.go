@@ -1,0 +1,42 @@
+// Fixture for the panicboundary rule: the fixture loads under an
+// internal/ import path, so undocumented panics are findings while
+// documented invariant helpers pass.
+package boundary
+
+import "errors"
+
+// ErrNegative is the typed sentinel the documented helper panics with.
+var ErrNegative = errors.New("boundary: negative input")
+
+// undocumented validates its input the wrong way: nothing in this comment
+// warns the caller.
+func undocumented(x int) {
+	if x < 0 {
+		panic("negative") // want "doc comment does not say so"
+	}
+}
+
+func bare(x int) {
+	if x < 0 {
+		panic("negative") // want "doc comment does not say so"
+	}
+}
+
+// documented panics with ErrNegative on a negative input: every call site
+// passes a compile-time constant, so a violation is a programmer error.
+func documented(x int) {
+	if x < 0 {
+		panic(ErrNegative)
+	}
+}
+
+// recovered panics inside a deferred recover wrapper; the enclosing
+// function documents the panic so the re-raise is part of the contract.
+func recovered(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(r)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,20 @@
+// Fixture for suppression comments: the violations below are silenced by
+// //lint:allow and must count as suppressed, not reported.
+package suppress
+
+func above(f func()) {
+	//lint:allow(nakedgo) fixture: a standalone comment covers the next line
+	go f()
+}
+
+func inline(f func()) {
+	go f() //lint:allow(nakedgo) fixture: an inline comment covers its own line
+}
+
+func multi(a, b float64) bool {
+	return a == b //lint:allow(floateq,nakedgo) fixture: a comma list allows several rules
+}
+
+func wrongRule(f func()) {
+	go f() //lint:allow(floateq) fixture: allowing a different rule must NOT suppress nakedgo
+}

@@ -71,7 +71,9 @@ type Config struct {
 const jtlPerPEPitch = 5
 
 // CriticalPathDelay returns the network's minimum clock cycle time (the
-// inverse of its maximum frequency), reproducing Fig. 5(a).
+// inverse of its maximum frequency), reproducing Fig. 5(a). It panics with
+// ErrUnknownDesign on an out-of-range design (programmer error; the
+// sentinel survives the parallel pool's panic recovery).
 func CriticalPathDelay(d Design, cfg Config, lib *sfq.Library) float64 {
 	dff := lib.Gate(sfq.DFF)
 	spl := lib.Gate(sfq.Splitter)
@@ -147,7 +149,9 @@ func MaxFrequency(d Design, cfg Config, lib *sfq.Library) float64 {
 }
 
 // CellInventory returns the wire/latch cells of the network, the basis of
-// the area comparison in Fig. 5(b).
+// the area comparison in Fig. 5(b). It panics with ErrUnknownDesign on an
+// out-of-range design (programmer error; the sentinel survives the
+// parallel pool's panic recovery).
 func CellInventory(d Design, cfg Config) sfq.Inventory {
 	inv := sfq.Inventory{}
 	w := cfg.Width
@@ -191,4 +195,3 @@ func SystolicPerPE(bits int) sfq.Inventory {
 	inv.AddGate(sfq.JTL, 2*2*bits)
 	return inv
 }
-

@@ -163,4 +163,3 @@ func simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
 	rep.PEUtilization = rep.Throughput / cfg.PeakMACs()
 	return rep, nil
 }
-

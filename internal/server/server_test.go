@@ -404,4 +404,3 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatal("server still accepting connections after drain")
 	}
 }
-

@@ -143,6 +143,8 @@ type Memory struct {
 }
 
 // NewMemory returns a functional shift register of the given geometry.
+// It panics on a non-positive geometry: dimensions are compile-time or
+// validated-config constants, so a bad value is a programmer error.
 func NewMemory(entries, widthBytes int) *Memory {
 	if entries <= 0 || widthBytes <= 0 {
 		panic("srmem: entries and width must be positive")
@@ -169,7 +171,9 @@ func (m *Memory) idx(i int) int { return (m.head + i) % len(m.entries) }
 // Shift performs one clock of the chain: the tail entry leaves the register
 // and is returned; in becomes the new head entry. Passing the returned tail
 // back as in on the next call is recirculation — the feedback loop of
-// Fig. 2(b). A nil in shifts in an invalid (zero) entry.
+// Fig. 2(b). A nil in shifts in an invalid (zero) entry. Shift panics on a
+// width mismatch: entry geometry is fixed at construction, so a wrong
+// width is a programmer error.
 func (m *Memory) Shift(in []byte) (out []byte, outValid bool) {
 	if in != nil && len(in) != m.width {
 		panic(fmt.Sprintf("srmem: entry width %d, want %d", len(in), m.width))

@@ -298,4 +298,3 @@ func (a *Array) runDepthwise(l workload.Layer, w Weights, in dau.Ifmap) (Ofmap, 
 	}
 	return out, st, nil
 }
-

@@ -91,6 +91,8 @@ func (l Layer) OutH() int { return (l.H+2*l.Pad-l.R)/l.Stride + 1 }
 func (l Layer) OutW() int { return (l.W+2*l.Pad-l.S)/l.Stride + 1 }
 
 // MACs returns the multiply-accumulate count of the layer for one input.
+// It panics with ErrUnknownKind on an unvalidated layer kind (call
+// Validate first; the sentinel survives the pool's panic recovery).
 func (l Layer) MACs() int64 {
 	e, f := int64(l.OutH()), int64(l.OutW())
 	switch l.Kind {

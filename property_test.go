@@ -37,7 +37,7 @@ func randomSFQConfig(rng *rand.Rand, name string) arch.Config {
 	cfg := arch.Config{
 		Name:        name,
 		ArrayHeight: pow2(4, 8), ArrayWidth: pow2(4, 8), // 16..256
-		Registers:     pow2(0, 3),                       // 1..8
+		Registers:     pow2(0, 3), // 1..8
 		IfmapBufBytes: pow2(21, 25), IfmapChunks: pow2(0, 8),
 		OutputBufBytes: pow2(21, 25), OutputChunks: pow2(0, 8),
 		IntegratedOutput: integrated,
