@@ -9,7 +9,7 @@ COVER_FLOOR ?= 70
 # Per-target budget for the fuzz smoke pass (make fuzz).
 FUZZTIME ?= 15s
 
-.PHONY: check build vet test race bench bench-sweep repro serve cover fuzz fault-smoke race-resilience golden-update clean lint fmt-check
+.PHONY: check build vet test race bench bench-sweep bench-json bench-smoke repro serve cover fuzz fault-smoke race-resilience golden-update clean lint fmt-check
 
 check: build lint race
 
@@ -45,6 +45,23 @@ bench:
 # The sweep-engine comparison: serial vs parallel vs memoised.
 bench-sweep:
 	$(GO) test -run=NONE -bench='BenchmarkRunAll|BenchmarkSimulateC' -benchtime=5x .
+
+# Recorded perf trajectory: run the solver and sweep benchmarks with
+# allocation counting and check the measurements in as a sorted-key JSON
+# artifact. Compare BENCH_PR*.json files across PRs to see the trend.
+BENCH_JSON ?= BENCH_PR6.json
+bench-json:
+	$(GO) test -run=NONE -bench='BenchmarkRun|BenchmarkBiasMargins' -benchmem ./internal/jsim \
+		> bench-json.tmp
+	$(GO) test -run=NONE -bench='BenchmarkMarginSweepCold|BenchmarkJSIMTransient' -benchmem . \
+		>> bench-json.tmp
+	$(GO) run ./cmd/benchjson < bench-json.tmp > $(BENCH_JSON)
+	@rm -f bench-json.tmp
+	@echo "wrote $(BENCH_JSON)"
+
+# CI smoke: every benchmark must still compile and survive one iteration.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 repro:
 	$(GO) run ./cmd/supernpu-repro -v

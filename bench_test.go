@@ -1,6 +1,7 @@
 package supernpu
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -257,3 +258,16 @@ func BenchmarkAblationBatch(b *testing.B) { benchExperiment(b, "ablation-batch")
 
 // BenchmarkAblationMemsys validates the flat-bandwidth DRAM abstraction.
 func BenchmarkAblationMemsys(b *testing.B) { benchExperiment(b, "ablation-memsys") }
+
+// BenchmarkMarginSweepCold measures the full bias-margin robustness exhibit
+// from a cold cache: six fault variants, each a batched margin evaluation
+// through per-worker reused solvers.
+func BenchmarkMarginSweepCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		simcache.ClearAll()
+		if _, err := experiments.MarginSweep(context.Background(), experiments.MarginSweepOptions{Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

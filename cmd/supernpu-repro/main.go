@@ -7,6 +7,7 @@
 //	supernpu-repro -list        # list exhibit ids
 //	supernpu-repro -parallel 4  # bound the worker pool at 4
 //	supernpu-repro -seq -v      # serial run, cache stats on stderr
+//	supernpu-repro -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	rpprof "runtime/pprof"
 	"strings"
 
 	"supernpu/internal/experiments"
@@ -22,11 +24,19 @@ import (
 )
 
 func main() {
+	// The work lives in run so its defers (profile flushes) execute before
+	// the process exits with a status code.
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "exhibit id (fig5..fig23, table1..table3, ablation-*), 'all' or 'ablations'")
 	list := flag.Bool("list", false, "list available exhibit ids and exit")
 	par := flag.Int("parallel", runtime.NumCPU(), "maximum worker count for parallel evaluation")
 	seq := flag.Bool("seq", false, "run serially (shorthand for -parallel 1)")
 	verbose := flag.Bool("v", false, "print simulation-cache hit/miss statistics to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
 	if *seq {
@@ -35,10 +45,31 @@ func main() {
 		parallel.SetWorkers(*par)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "supernpu-repro: cpuprofile:", err)
+			return 1
+		}
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "supernpu-repro: cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			rpprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "supernpu-repro: cpuprofile:", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
+	}
+
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		fmt.Println(strings.Join(experiments.AblationIDs(), "\n"))
-		return
+		return 0
 	}
 
 	var out string
@@ -63,12 +94,30 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "supernpu-repro:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(out)
 
 	if *verbose {
 		printCacheStats()
+	}
+	return 0
+}
+
+// writeHeapProfile snapshots the live heap to path, reporting (not failing
+// on) profile I/O errors: a broken profile must not fail a finished run.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supernpu-repro: memprofile:", err)
+		return
+	}
+	runtime.GC() // settle the heap so the profile reflects live data
+	if err := rpprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "supernpu-repro: memprofile:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "supernpu-repro: memprofile:", err)
 	}
 }
 

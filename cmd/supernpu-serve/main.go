@@ -18,6 +18,7 @@
 //	GET  /healthz       liveness
 //	GET  /debug/stats   cache hit/miss, pool occupancy, queue gauges
 //	GET  /debug/vars    raw expvar
+//	GET  /debug/pprof/  live profiling (net/http/pprof: profile, heap, trace, …)
 //
 // The service sheds load with 429 + Retry-After once the work queue is
 // full, and drains in-flight requests on SIGINT/SIGTERM.

@@ -109,13 +109,23 @@ func MarginSweep(ctx context.Context, o MarginSweepOptions) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		// The RCSJ transients dominate a cold sweep: evaluate every pending
+		// grid point's bias margins through the batched chain runner first —
+		// one reusable solver per worker across all bisection probes — then
+		// assemble the rows (cycle simulation + checkpoint) in a second
+		// fan-out. Results are memoised, so a resumed sweep pays nothing.
+		models := make([]*faultinject.Model, len(pending))
+		for k, i := range pending {
+			models[k] = o.model(o.IcSpreads[i])
+		}
+		margins, err := jsim.BiasMarginsFaultedBatch(ctx, models)
+		if err != nil {
+			return "", err
+		}
 		err = parallel.ForEachContext(ctx, len(pending), func(ctx context.Context, k int) error {
 			i := pending[k]
-			fm := o.model(o.IcSpreads[i])
-			m, err := jsim.BiasMarginsFaulted(fm)
-			if err != nil {
-				return err
-			}
+			fm := models[k]
+			m := margins[k]
 			r, err := npusim.SimulateFaulted(cfg, resnet, 1, fm)
 			if err != nil {
 				return err

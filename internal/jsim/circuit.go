@@ -2,8 +2,6 @@ package jsim
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
 	"supernpu/internal/parallel"
 	"supernpu/internal/sfq"
@@ -72,107 +70,23 @@ func (c *Circuit) ArmEnds(armLen int) (int, int) {
 }
 
 // Run integrates the circuit with RK4, like Chain.Run but over the link
-// graph.
+// graph, and materialises the dense trajectory. Like Chain.Run it is the
+// legacy dense API over a DenseRecorder; see RunObserved for streaming.
 func (c *Circuit) Run(T, dt float64) (*Result, error) {
-	if dt <= 0 || T <= 0 {
-		return nil, errors.New("jsim: T and dt must be positive")
+	var rec DenseRecorder
+	var s Solver
+	if err := s.RunCircuit(c, T, dt, &rec); err != nil {
+		return nil, err
 	}
-	n := len(c.Nodes)
-	if n == 0 {
-		return nil, errors.New("jsim: empty circuit")
-	}
-	for _, lk := range c.Links {
-		if lk.A < 0 || lk.A >= n || lk.B < 0 || lk.B >= n || lk.L <= 0 {
-			return nil, fmt.Errorf("jsim: invalid link %+v", lk)
-		}
-	}
-	steps := int(T/dt) + 1
+	return rec.Result(), nil
+}
 
-	phi := make([]float64, n)
-	v := make([]float64, n)
-	for i, nd := range c.Nodes {
-		r := nd.Bias / nd.JJ.Ic
-		if r > 0.999 {
-			r = 0.999
-		}
-		if r < -0.999 {
-			r = -0.999
-		}
-		phi[i] = math.Asin(r)
-	}
-
-	// Adjacency with inverse inductances.
-	type nb struct {
-		node int
-		invL float64
-	}
-	adj := make([][]nb, n)
-	for _, lk := range c.Links {
-		adj[lk.A] = append(adj[lk.A], nb{lk.B, 1 / lk.L})
-		adj[lk.B] = append(adj[lk.B], nb{lk.A, 1 / lk.L})
-	}
-
-	deriv := func(t float64, phi, v, dphi, dv []float64) {
-		for i := 0; i < n; i++ {
-			jj := c.Nodes[i].JJ
-			cur := c.Nodes[i].Bias
-			for _, s := range c.Sources {
-				if s.Node == i {
-					cur += s.current(t)
-				}
-			}
-			for _, e := range adj[i] {
-				cur += phi0over2pi * (phi[e.node] - phi[i]) * e.invL
-			}
-			cur -= jj.Ic * math.Sin(phi[i])
-			cur -= phi0over2pi * v[i] / jj.R
-			dphi[i] = v[i]
-			dv[i] = cur / (jj.C * phi0over2pi)
-		}
-	}
-
-	res := &Result{Dt: dt}
-	k1p, k1v := make([]float64, n), make([]float64, n)
-	k2p, k2v := make([]float64, n), make([]float64, n)
-	k3p, k3v := make([]float64, n), make([]float64, n)
-	k4p, k4v := make([]float64, n), make([]float64, n)
-	tp, tv := make([]float64, n), make([]float64, n)
-
-	energy := 0.0
-	for s := 0; s < steps; s++ {
-		t := float64(s) * dt
-		snap := make([]float64, n)
-		copy(snap, phi)
-		res.Phases = append(res.Phases, snap)
-		res.BiasEnergy = append(res.BiasEnergy, energy)
-
-		deriv(t, phi, v, k1p, k1v)
-		for i := 0; i < n; i++ {
-			tp[i] = phi[i] + 0.5*dt*k1p[i]
-			tv[i] = v[i] + 0.5*dt*k1v[i]
-		}
-		deriv(t+0.5*dt, tp, tv, k2p, k2v)
-		for i := 0; i < n; i++ {
-			tp[i] = phi[i] + 0.5*dt*k2p[i]
-			tv[i] = v[i] + 0.5*dt*k2v[i]
-		}
-		deriv(t+0.5*dt, tp, tv, k3p, k3v)
-		for i := 0; i < n; i++ {
-			tp[i] = phi[i] + dt*k3p[i]
-			tv[i] = v[i] + dt*k3v[i]
-		}
-		deriv(t+dt, tp, tv, k4p, k4v)
-
-		for i := 0; i < n; i++ {
-			phi[i] += dt / 6 * (k1p[i] + 2*k2p[i] + 2*k3p[i] + k4p[i])
-			v[i] += dt / 6 * (k1v[i] + 2*k2v[i] + 2*k3v[i] + k4v[i])
-			if math.IsNaN(phi[i]) || math.IsInf(phi[i], 0) {
-				return nil, fmt.Errorf("jsim: circuit diverged at t=%.3gps node %d", t/sfq.Picosecond, i)
-			}
-			energy += c.Nodes[i].Bias * phi0over2pi * v[i] * dt
-		}
-	}
-	return res, nil
+// RunObserved integrates the circuit, streaming every sample to the
+// observers instead of materialising a dense history. It uses a fresh
+// Solver; for repeated runs, reuse a Solver directly.
+func (c *Circuit) RunObserved(T, dt float64, obs ...Observer) error {
+	var s Solver
+	return s.RunCircuit(c, T, dt, obs...)
 }
 
 // Margins is an operating-margin analysis result: the bias range (as a
@@ -200,44 +114,33 @@ func BiasMargins() (Margins, error) {
 	return v.(Margins), nil
 }
 
+// Bisection probe parameters shared by the nominal and faulted margin
+// analyses: a 10-stage line observed for 140 ps at a 0.05 ps step.
+const (
+	marginProbeT  = 140 * sfq.Picosecond
+	marginProbeDt = 0.05 * sfq.Picosecond
+)
+
+// newNominalProbe builds a fresh nominal-JTL margin probe on the solver.
+func newNominalProbe(s *Solver) *marginProbe {
+	ch := StandardJTL(10)
+	return newMarginProbe(s, ch, perJunctionIc(ch), marginProbeT, marginProbeDt)
+}
+
 func biasMargins() (Margins, error) {
-	works := func(bias float64) bool {
-		ch := StandardJTL(10)
-		for i := range ch.Nodes {
-			ch.Nodes[i].Bias = bias * ch.Nodes[i].JJ.Ic
-		}
-		res, err := ch.Run(140*sfq.Picosecond, 0.05*sfq.Picosecond)
-		if err != nil {
-			return false
-		}
-		for i := 0; i < 10; i++ {
-			if res.Slips(i) != 1 {
-				return false
-			}
-		}
-		return true
-	}
 	const nominal = 0.7
-	if !works(nominal) {
+	if !newNominalProbe(NewSolver()).works(nominal) {
 		return Margins{}, errors.New("jsim: JTL fails at the nominal bias point")
 	}
-	bisect := func(bad, good float64) float64 {
-		for i := 0; i < 12; i++ {
-			mid := (bad + good) / 2
-			if works(mid) {
-				good = mid
-			} else {
-				bad = mid
+	// The two bisection arms run concurrently, each reusing one solver and
+	// one chain across its probes.
+	arms, err := parallel.MapLocal(2, func() *marginProbe { return newNominalProbe(NewSolver()) },
+		func(p *marginProbe, i int) (float64, error) {
+			if i == 0 {
+				return p.bisect(0.0, nominal), nil
 			}
-		}
-		return good
-	}
-	arms, err := parallel.Map(2, func(i int) (float64, error) {
-		if i == 0 {
-			return bisect(0.0, nominal), nil
-		}
-		return bisect(1.2, nominal), nil
-	})
+			return p.bisect(1.2, nominal), nil
+		})
 	if err != nil {
 		return Margins{}, err
 	}

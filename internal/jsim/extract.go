@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"supernpu/internal/parallel"
 	"supernpu/internal/sfq"
 	"supernpu/internal/simcache"
 )
@@ -45,16 +44,23 @@ func ExtractJTLParams() (GateParams, error) {
 func extractJTLParams() (GateParams, error) {
 	const stages = 12
 	chain := StandardJTL(stages)
-	res, err := chain.Run(120*sfq.Picosecond, 0.02*sfq.Picosecond)
-	if err != nil {
+	// Streaming extraction: pulse times, bias energy and final phases are
+	// accumulated in-stream, so the transient never materialises its dense
+	// O(steps·nodes) history.
+	var (
+		pulse  PulseDetector
+		energy EnergyAccumulator
+		fin    FinalState
+	)
+	if err := chain.RunObserved(120*sfq.Picosecond, 0.02*sfq.Picosecond, &pulse, &energy, &fin); err != nil {
 		return GateParams{}, err
 	}
 
 	// Delay: measure between interior nodes to avoid launch and
 	// termination edge effects.
 	first, last := 2, stages-3
-	t0 := res.PulseTimes(first)
-	t1 := res.PulseTimes(last)
+	t0 := pulse.Times(first)
+	t1 := pulse.Times(last)
 	if len(t0) == 0 || len(t1) == 0 {
 		return GateParams{}, errors.New("jsim: pulse did not propagate through the JTL")
 	}
@@ -67,19 +73,19 @@ func extractJTLParams() (GateParams, error) {
 	// slipped. (∫ I_bias·V dt = I_bias·Φ0 per 2π slip.)
 	slipped := 0
 	for i := 0; i < stages; i++ {
-		slipped += res.Slips(i)
+		slipped += fin.Slips(i)
 	}
 	if slipped == 0 {
 		return GateParams{}, errors.New("jsim: no junction switched")
 	}
-	energy := res.TotalBiasEnergy() / float64(slipped)
+	perJJ := energy.Total() / float64(slipped)
 
 	// Static power: the RSFQ bias resistor network dissipates V_bias·I_bias
 	// per junction continuously, independent of activity.
 	p := sfq.AIST10()
 	return GateParams{
 		StageDelay:        delay,
-		SwitchEnergyPerJJ: energy,
+		SwitchEnergyPerJJ: perJJ,
 		StaticPowerPerJJ:  p.StaticPowerPerJJ(sfq.RSFQ),
 	}, nil
 }
@@ -137,17 +143,20 @@ func DFFDemo() error {
 		out     = 6
 	)
 
-	// The two transients are independent netlists; run them concurrently.
-	results, err := parallel.Map(2, func(i int) (*Result, error) {
-		if i == 0 {
-			return StorageChain(0).Run(T, dt)
-		}
-		return StorageChain(clockAt).Run(T, dt)
+	// The two transients are independent netlists; the batched runner fans
+	// them out across the pool, streaming each into its own observers.
+	var (
+		held     FinalState
+		released FinalState
+		relPulse PulseDetector
+	)
+	err := RunBatch([]BatchJob{
+		{Chain: StorageChain(0), T: T, Dt: dt, Observers: []Observer{&held}},
+		{Chain: StorageChain(clockAt), T: T, Dt: dt, Observers: []Observer{&released, &relPulse}},
 	})
 	if err != nil {
 		return err
 	}
-	held, released := results[0], results[1]
 	if held.Slips(store-1) < 1 {
 		return errors.New("jsim: input fluxon never reached the storage loop")
 	}
@@ -158,7 +167,7 @@ func DFFDemo() error {
 	if released.Slips(out) < 1 {
 		return errors.New("jsim: clock pulse failed to release the stored fluxon")
 	}
-	outTimes := released.PulseTimes(out)
+	outTimes := relPulse.Times(out)
 	if len(outTimes) == 0 || outTimes[0] < clockAt {
 		return errors.New("jsim: output pulse appeared before the clock")
 	}
@@ -190,24 +199,26 @@ func extractSetupTime() (float64, error) {
 	)
 	// Reference: the data pulse passing the last shared JTL stage before
 	// the storage inductor. The setup time is how long after that instant
-	// the loop needs to charge before a clock pulse reads it out.
-	probe, err := StorageChain(0).Run(80*sfq.Picosecond, dt)
-	if err != nil {
+	// the loop needs to charge before a clock pulse reads it out. One
+	// solver is reused across the probe and every bisection transient.
+	s := NewSolver()
+	var pulse PulseDetector
+	if err := s.RunChain(StorageChain(0), 80*sfq.Picosecond, dt, &pulse); err != nil {
 		return 0, err
 	}
-	ref := probe.PulseTimes(2)
+	ref := pulse.Times(2)
 	if len(ref) == 0 {
 		return 0, errors.New("jsim: data pulse never reached the storage loop")
 	}
 	arrive := ref[0]
 
+	var fin FinalState
+	relObs := []Observer{&fin}
 	releases := func(sep float64) bool {
-		ch := StorageChain(arrive + sep)
-		res, err := ch.Run(T, dt)
-		if err != nil {
+		if err := s.RunChain(StorageChain(arrive+sep), T, dt, relObs...); err != nil {
 			return false
 		}
-		return res.Slips(out) >= 1
+		return fin.Slips(out) >= 1
 	}
 	// Establish a working upper bound.
 	hi := 40 * sfq.Picosecond

@@ -1,11 +1,7 @@
 package jsim
 
 import (
-	"errors"
-
 	"supernpu/internal/faultinject"
-	"supernpu/internal/parallel"
-	"supernpu/internal/sfq"
 )
 
 // PerturbedJTL builds an n-stage JTL whose junction critical currents carry
@@ -49,69 +45,9 @@ func itoa(i int) string {
 // the window from both sides — the weakest junction free-runs first at high
 // bias, the strongest one sticks first at low bias — which is the physical
 // quantity the MarginSweep exhibit plots. Results are memoised per fault
-// key; a disabled model shares the nominal BiasMargins entry.
+// key; a disabled model shares the nominal BiasMargins entry. Sweeps over
+// many fault variants should prefer BiasMarginsFaultedBatch, which reuses
+// one solver per worker across the whole grid.
 func BiasMarginsFaulted(fm *faultinject.Model) (Margins, error) {
-	if !fm.Enabled() {
-		return BiasMargins()
-	}
-	v, err := cache.GetOrCompute("bias-margins/10"+fm.Key(), func() (any, error) {
-		return biasMarginsFaulted(fm)
-	})
-	if err != nil {
-		return Margins{}, err
-	}
-	return v.(Margins), nil
-}
-
-func biasMarginsFaulted(fm *faultinject.Model) (Margins, error) {
-	const (
-		stages    = 10
-		nominalIc = 100e-6 // the bias rails are designed against this
-		nominal   = 0.7
-	)
-	works := func(bias float64) bool {
-		ch := PerturbedJTL(stages, fm)
-		for i := range ch.Nodes {
-			ch.Nodes[i].Bias = bias * nominalIc
-		}
-		res, err := ch.Run(140*sfq.Picosecond, 0.05*sfq.Picosecond)
-		if err != nil {
-			return false
-		}
-		for i := 0; i < stages; i++ {
-			if res.Slips(i) != 1 {
-				return false
-			}
-		}
-		return true
-	}
-	if !works(nominal) {
-		// The spread closed the window at the design point outright: the
-		// chip margin is zero.
-		return Margins{Low: nominal, High: nominal}, nil
-	}
-	bisect := func(bad, good float64) float64 {
-		for i := 0; i < 12; i++ {
-			mid := (bad + good) / 2
-			if works(mid) {
-				good = mid
-			} else {
-				bad = mid
-			}
-		}
-		return good
-	}
-	if works(1.5) {
-		return Margins{}, errors.New("jsim: perturbed JTL still single-pulses at 1.5x Ic; overbias bound not bracketed")
-	}
-	arms, err := parallel.Map(2, func(i int) (float64, error) {
-		if i == 0 {
-			return bisect(0.0, nominal), nil
-		}
-		return bisect(1.5, nominal), nil
-	})
-	if err != nil {
-		return Margins{}, err
-	}
-	return Margins{Low: arms[0], High: arms[1]}, nil
+	return biasMarginsFaultedCached(fm, NewSolver())
 }

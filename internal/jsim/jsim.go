@@ -21,8 +21,6 @@
 package jsim
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"supernpu/internal/sfq"
@@ -105,105 +103,29 @@ type Result struct {
 }
 
 // Run integrates the chain with classical RK4 over duration T using a fixed
-// step dt. dt must resolve the junction plasma period; Run returns an error
-// if dt is not positive or the solution diverges (non-finite phase).
+// step dt and materialises the dense trajectory. dt must resolve the
+// junction plasma period; Run returns an error if dt is not positive or the
+// solution diverges (non-finite phase).
+//
+// Run is the legacy dense API: it records O(steps·nodes) history through a
+// DenseRecorder. Hot paths that only need pulse times, slips or energies
+// should attach streaming observers via RunObserved (or a reused Solver),
+// which allocates O(nodes) total.
 func (c *Chain) Run(T, dt float64) (*Result, error) {
-	if dt <= 0 || T <= 0 {
-		return nil, errors.New("jsim: T and dt must be positive")
+	var rec DenseRecorder
+	var s Solver
+	if err := s.RunChain(c, T, dt, &rec); err != nil {
+		return nil, err
 	}
-	n := len(c.Nodes)
-	if n == 0 {
-		return nil, errors.New("jsim: empty chain")
-	}
-	steps := int(T/dt) + 1
+	return rec.Result(), nil
+}
 
-	// State: phases φ and phase velocities v = φ̇. Each node starts at its
-	// DC equilibrium φ = arcsin(I_bias/Ic) so the quiescent circuit is
-	// genuinely quiescent (no settling transient drawing bias energy).
-	phi := make([]float64, n)
-	v := make([]float64, n)
-	for i, nd := range c.Nodes {
-		r := nd.Bias / nd.JJ.Ic
-		if r > 0.999 {
-			r = 0.999
-		}
-		if r < -0.999 {
-			r = -0.999
-		}
-		phi[i] = math.Asin(r)
-	}
-
-	deriv := func(t float64, phi, v, dphi, dv []float64) {
-		for i := 0; i < n; i++ {
-			jj := c.Nodes[i].JJ
-			cur := c.Nodes[i].Bias
-			for _, s := range c.Sources {
-				if s.Node == i {
-					cur += s.current(t)
-				}
-			}
-			if i > 0 {
-				cur += phi0over2pi * (phi[i-1] - phi[i]) / c.Nodes[i-1].LNext
-			}
-			if i < n-1 {
-				cur += phi0over2pi * (phi[i+1] - phi[i]) / c.Nodes[i].LNext
-			}
-			cur -= jj.Ic * math.Sin(phi[i])
-			cur -= phi0over2pi * v[i] / jj.R
-			dphi[i] = v[i]
-			dv[i] = cur / (jj.C * phi0over2pi)
-		}
-	}
-
-	res := &Result{
-		Dt:         dt,
-		Phases:     make([][]float64, 0, steps),
-		BiasEnergy: make([]float64, 0, steps),
-	}
-
-	// RK4 scratch buffers.
-	k1p, k1v := make([]float64, n), make([]float64, n)
-	k2p, k2v := make([]float64, n), make([]float64, n)
-	k3p, k3v := make([]float64, n), make([]float64, n)
-	k4p, k4v := make([]float64, n), make([]float64, n)
-	tp, tv := make([]float64, n), make([]float64, n)
-
-	energy := 0.0
-	for s := 0; s < steps; s++ {
-		t := float64(s) * dt
-		snap := make([]float64, n)
-		copy(snap, phi)
-		res.Phases = append(res.Phases, snap)
-		res.BiasEnergy = append(res.BiasEnergy, energy)
-
-		deriv(t, phi, v, k1p, k1v)
-		for i := 0; i < n; i++ {
-			tp[i] = phi[i] + 0.5*dt*k1p[i]
-			tv[i] = v[i] + 0.5*dt*k1v[i]
-		}
-		deriv(t+0.5*dt, tp, tv, k2p, k2v)
-		for i := 0; i < n; i++ {
-			tp[i] = phi[i] + 0.5*dt*k2p[i]
-			tv[i] = v[i] + 0.5*dt*k2v[i]
-		}
-		deriv(t+0.5*dt, tp, tv, k3p, k3v)
-		for i := 0; i < n; i++ {
-			tp[i] = phi[i] + dt*k3p[i]
-			tv[i] = v[i] + dt*k3v[i]
-		}
-		deriv(t+dt, tp, tv, k4p, k4v)
-
-		for i := 0; i < n; i++ {
-			phi[i] += dt / 6 * (k1p[i] + 2*k2p[i] + 2*k3p[i] + k4p[i])
-			v[i] += dt / 6 * (k1v[i] + 2*k2v[i] + 2*k3v[i] + k4v[i])
-			if math.IsNaN(phi[i]) || math.IsInf(phi[i], 0) {
-				return nil, fmt.Errorf("jsim: solution diverged at t=%.3gps node %d", t/sfq.Picosecond, i)
-			}
-			// Bias energy: P = I_bias · V = I_bias · (Φ0/2π)·φ̇.
-			energy += c.Nodes[i].Bias * phi0over2pi * v[i] * dt
-		}
-	}
-	return res, nil
+// RunObserved integrates the chain, streaming every sample to the observers
+// instead of materialising a dense history. It uses a fresh Solver; for
+// repeated runs (sweeps, bisections), reuse a Solver directly.
+func (c *Chain) RunObserved(T, dt float64, obs ...Observer) error {
+	var s Solver
+	return s.RunChain(c, T, dt, obs...)
 }
 
 // PulseTimes returns the times at which SFQ pulses pass the given node: the
@@ -228,17 +150,27 @@ func (r *Result) PulseTimes(node int) []float64 {
 	return times
 }
 
-// FinalPhase returns the last phase of the node.
+// FinalPhase returns the last phase of the node. An empty result (no
+// recorded steps) reports 0, the quiescent phase origin, rather than
+// panicking.
 func (r *Result) FinalPhase(node int) float64 {
+	if len(r.Phases) == 0 {
+		return 0
+	}
 	return r.Phases[len(r.Phases)-1][node]
 }
 
-// Slips returns how many complete 2π phase slips the node underwent.
+// Slips returns how many complete 2π phase slips the node underwent. An
+// empty result reports 0 slips.
 func (r *Result) Slips(node int) int {
 	return int(math.Floor((r.FinalPhase(node) + math.Pi) / (2 * math.Pi)))
 }
 
 // TotalBiasEnergy is the energy drawn from the bias network over the run.
+// An empty result reports 0.
 func (r *Result) TotalBiasEnergy() float64 {
+	if len(r.BiasEnergy) == 0 {
+		return 0
+	}
 	return r.BiasEnergy[len(r.BiasEnergy)-1]
 }

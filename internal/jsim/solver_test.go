@@ -1,0 +1,314 @@
+package jsim
+
+import (
+	"context"
+	"testing"
+
+	"supernpu/internal/faultinject"
+	"supernpu/internal/sfq"
+	"supernpu/internal/simcache"
+)
+
+// diffChains are the netlists the differential battery runs: a plain JTL, the
+// two storage-loop variants (parked and clocked fluxon) and a fault-injected
+// JTL with Ic spread.
+func diffChains() map[string]*Chain {
+	fm := &faultinject.Model{Seed: 7, IcSpread: 0.05}
+	return map[string]*Chain{
+		"jtl":          StandardJTL(10),
+		"storage-hold": StorageChain(0),
+		"storage-clk":  StorageChain(80 * sfq.Picosecond),
+		"faulted-jtl":  PerturbedJTL(8, fm),
+	}
+}
+
+// The tentpole contract: every streaming observer reproduces its dense
+// post-processing counterpart bit-for-bit — phases, pulse times, bias energy
+// and final state — across JTL, storage-loop and fault-injected chains.
+func TestStreamingObserversBitIdenticalToDense(t *testing.T) {
+	const (
+		T  = 120 * sfq.Picosecond
+		dt = 0.02 * sfq.Picosecond
+	)
+	for name, ch := range diffChains() {
+		ch := ch
+		t.Run(name, func(t *testing.T) {
+			dense, err := ch.Run(T, dt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var (
+				rec    DenseRecorder
+				pulse  PulseDetector
+				energy EnergyAccumulator
+				fin    FinalState
+			)
+			if err := ch.RunObserved(T, dt, &rec, &pulse, &energy, &fin); err != nil {
+				t.Fatal(err)
+			}
+			stream := rec.Result()
+
+			// Dense recorder vs legacy dense API.
+			if len(stream.Phases) != len(dense.Phases) {
+				t.Fatalf("step count: stream %d, dense %d", len(stream.Phases), len(dense.Phases))
+			}
+			for s := range dense.Phases {
+				for i := range dense.Phases[s] {
+					if stream.Phases[s][i] != dense.Phases[s][i] {
+						t.Fatalf("phase[%d][%d]: stream %v, dense %v", s, i, stream.Phases[s][i], dense.Phases[s][i])
+					}
+				}
+				if stream.BiasEnergy[s] != dense.BiasEnergy[s] {
+					t.Fatalf("bias energy[%d]: stream %v, dense %v", s, stream.BiasEnergy[s], dense.BiasEnergy[s])
+				}
+			}
+
+			// Streaming observers vs dense post-processing.
+			for node := range ch.Nodes {
+				want := dense.PulseTimes(node)
+				got := pulse.Times(node)
+				if len(got) != len(want) {
+					t.Fatalf("node %d: %d streamed pulses, %d dense", node, len(got), len(want))
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("node %d pulse %d: stream %v, dense %v", node, k, got[k], want[k])
+					}
+				}
+				if fin.Phase(node) != dense.FinalPhase(node) {
+					t.Fatalf("node %d final phase: stream %v, dense %v", node, fin.Phase(node), dense.FinalPhase(node))
+				}
+				if fin.Slips(node) != dense.Slips(node) {
+					t.Fatalf("node %d slips: stream %d, dense %d", node, fin.Slips(node), dense.Slips(node))
+				}
+			}
+			if energy.Total() != dense.TotalBiasEnergy() {
+				t.Fatalf("total bias energy: stream %v, dense %v", energy.Total(), dense.TotalBiasEnergy())
+			}
+		})
+	}
+}
+
+// The circuit (link-graph) solver must satisfy the same contract.
+func TestCircuitStreamingBitIdenticalToDense(t *testing.T) {
+	const (
+		T  = 100 * sfq.Picosecond
+		dt = 0.05 * sfq.Picosecond
+	)
+	ckt := SplitterTree(3)
+	dense, err := ckt.Run(T, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		rec    DenseRecorder
+		pulse  PulseDetector
+		energy EnergyAccumulator
+		fin    FinalState
+	)
+	if err := ckt.RunObserved(T, dt, &rec, &pulse, &energy, &fin); err != nil {
+		t.Fatal(err)
+	}
+	stream := rec.Result()
+	if len(stream.Phases) != len(dense.Phases) {
+		t.Fatalf("step count: stream %d, dense %d", len(stream.Phases), len(dense.Phases))
+	}
+	for s := range dense.Phases {
+		for i := range dense.Phases[s] {
+			if stream.Phases[s][i] != dense.Phases[s][i] {
+				t.Fatalf("phase[%d][%d] differs", s, i)
+			}
+		}
+	}
+	for node := range ckt.Nodes {
+		want, got := dense.PulseTimes(node), pulse.Times(node)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %d streamed pulses, %d dense", node, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("node %d pulse %d differs", node, k)
+			}
+		}
+		if fin.Slips(node) != dense.Slips(node) {
+			t.Fatalf("node %d slips differ", node)
+		}
+	}
+	if energy.Total() != dense.TotalBiasEnergy() {
+		t.Fatalf("total bias energy: stream %v, dense %v", energy.Total(), dense.TotalBiasEnergy())
+	}
+}
+
+// A reused Solver with reused streaming observers must not allocate once
+// warm — the property that makes margin/fault sweeps allocation-free.
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	ch := StandardJTL(10)
+	var (
+		s      Solver
+		pulse  PulseDetector
+		energy EnergyAccumulator
+		fin    FinalState
+	)
+	obs := []Observer{&pulse, &energy, &fin}
+	run := func() {
+		if err := s.RunChain(ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up sizes every buffer
+	if n := testing.AllocsPerRun(10, run); n != 0 {
+		t.Fatalf("steady-state solver allocations = %g per run, want 0", n)
+	}
+}
+
+// Margin bisection probes (solver + chain + final-state observer, re-biased
+// per probe) must also be allocation-free once warm.
+func TestMarginProbeSteadyStateAllocs(t *testing.T) {
+	p := newNominalProbe(NewSolver())
+	p.works(0.7) // warm-up
+	if n := testing.AllocsPerRun(10, func() { p.works(0.7) }); n != 0 {
+		t.Fatalf("steady-state margin-probe allocations = %g per run, want 0", n)
+	}
+}
+
+// Step-count regression: the legacy int(T/dt)+1 truncation lost the final
+// sample whenever T/dt landed a few ulps under an integer (160 ps / 0.02 ps,
+// 80 ps / 0.05 ps). Pin the counts for the standard extraction parameters.
+func TestStepCountRegression(t *testing.T) {
+	ps := sfq.Picosecond
+	cases := []struct {
+		T, dt float64
+		want  int
+	}{
+		{120 * ps, 0.02 * ps, 6001}, // JTL parameter extraction
+		{140 * ps, 0.05 * ps, 2801}, // bias-margin probes
+		{160 * ps, 0.02 * ps, 8001}, // DFF demo (lost a step before the guard)
+		{200 * ps, 0.05 * ps, 4001}, // setup-time bisection
+		{80 * ps, 0.05 * ps, 1601},  // setup-time probe (lost a step before the guard)
+		{100 * ps, 0.02 * ps, 5001},
+		{100 * ps, 5 * ps, 21}, // divergence test's coarse step
+	}
+	for _, c := range cases {
+		if got := stepCount(c.T, c.dt); got != c.want {
+			t.Errorf("stepCount(%gps, %gps) = %d, want %d",
+				c.T/ps, c.dt/ps, got, c.want)
+		}
+	}
+	// A genuinely fractional quotient must still truncate.
+	if got := stepCount(10.5, 1); got != 11 {
+		t.Errorf("stepCount(10.5, 1) = %d, want 11", got)
+	}
+}
+
+// Empty results must report zero values, not panic (the documented guard).
+func TestEmptyResultGuards(t *testing.T) {
+	r := &Result{Dt: 1e-15}
+	if got := r.FinalPhase(0); got != 0 {
+		t.Errorf("empty FinalPhase = %g, want 0", got)
+	}
+	if got := r.Slips(0); got != 0 {
+		t.Errorf("empty Slips = %d, want 0", got)
+	}
+	if got := r.TotalBiasEnergy(); got != 0 {
+		t.Errorf("empty TotalBiasEnergy = %g, want 0", got)
+	}
+	if got := r.PulseTimes(0); len(got) != 0 {
+		t.Errorf("empty PulseTimes = %v, want none", got)
+	}
+}
+
+// RunBatch must agree with one-at-a-time runs on every job.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	chains := []*Chain{StandardJTL(6), StandardJTL(10), StorageChain(0)}
+	const (
+		T  = 120 * sfq.Picosecond
+		dt = 0.05 * sfq.Picosecond
+	)
+	jobs := make([]BatchJob, len(chains))
+	fins := make([]*FinalState, len(chains))
+	for i, ch := range chains {
+		fins[i] = &FinalState{}
+		jobs[i] = BatchJob{Chain: ch, T: T, Dt: dt, Observers: []Observer{fins[i]}}
+	}
+	if err := RunBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chains {
+		dense, err := ch.Run(T, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node := range ch.Nodes {
+			if fins[i].Phase(node) != dense.FinalPhase(node) {
+				t.Fatalf("job %d node %d: batch %v, sequential %v",
+					i, node, fins[i].Phase(node), dense.FinalPhase(node))
+			}
+		}
+	}
+}
+
+// The batched margin evaluation must agree with the one-variant API and with
+// itself across cold and warm (memoised) passes.
+func TestBiasMarginsFaultedBatch(t *testing.T) {
+	models := []*faultinject.Model{
+		nil,
+		{Seed: 42, IcSpread: 0.02},
+		{Seed: 42, IcSpread: 0.04},
+	}
+	simcache.ClearAll()
+	batch, err := BiasMarginsFaultedBatch(context.Background(), models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(models) {
+		t.Fatalf("batch returned %d margins for %d models", len(batch), len(models))
+	}
+	for i, fm := range models {
+		single, err := BiasMarginsFaulted(fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != single {
+			t.Errorf("model %d: batch %+v, single %+v", i, batch[i], single)
+		}
+	}
+	// Cold recompute must reproduce the memoised values exactly.
+	simcache.ClearAll()
+	cold, err := BiasMarginsFaultedBatch(context.Background(), models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		if cold[i] != batch[i] {
+			t.Errorf("model %d: cold %+v, warm %+v", i, cold[i], batch[i])
+		}
+	}
+}
+
+// Reusing one solver across chains of different sizes and parameter sets
+// must reproduce fresh-solver results exactly (no state leaks between runs).
+func TestSolverReuseNoStateLeak(t *testing.T) {
+	var s Solver
+	sequence := []*Chain{StandardJTL(12), StandardJTL(4), StorageChain(0), StandardJTL(12)}
+	const (
+		T  = 120 * sfq.Picosecond
+		dt = 0.05 * sfq.Picosecond
+	)
+	for run, ch := range sequence {
+		var reFin FinalState
+		if err := s.RunChain(ch, T, dt, &reFin); err != nil {
+			t.Fatal(err)
+		}
+		dense, err := ch.Run(T, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node := range ch.Nodes {
+			if reFin.Phase(node) != dense.FinalPhase(node) {
+				t.Fatalf("run %d node %d: reused solver %v, fresh %v",
+					run, node, reFin.Phase(node), dense.FinalPhase(node))
+			}
+		}
+	}
+}

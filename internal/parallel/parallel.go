@@ -73,14 +73,14 @@ func (e *PanicError) Unwrap() error {
 	return nil
 }
 
-// call runs fn(ctx, i), converting a panic into a *PanicError.
-func call[T any](ctx context.Context, fn func(ctx context.Context, i int) (T, error), i int) (v T, err error) {
+// call runs fn(ctx, local, i), converting a panic into a *PanicError.
+func call[L, T any](ctx context.Context, fn func(ctx context.Context, local L, i int) (T, error), local L, i int) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return fn(ctx, i)
+	return fn(ctx, local, i)
 }
 
 // Map evaluates fn for every index in [0, n) using at most Workers()
@@ -102,6 +102,39 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 // run is cut short by cancellation (and no job failed first), MapContext
 // returns ctx's error.
 func MapContext[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapLocalContext(ctx, n, func() struct{} { return struct{}{} },
+		func(ctx context.Context, _ struct{}, i int) (T, error) {
+			return fn(ctx, i)
+		})
+}
+
+// MapLocal is Map with per-worker local state: newLocal runs once per worker
+// and its value is handed to every fn call that worker executes. It is the
+// hook for reusing expensive scratch (a jsim.Solver, a decode buffer) across
+// the jobs of one worker without sharing it between workers — fn may mutate
+// its local freely and must not stash it anywhere another goroutine reads.
+// newLocal must not panic; a panic inside fn is recovered as usual.
+func MapLocal[L, T any](n int, newLocal func() L, fn func(local L, i int) (T, error)) ([]T, error) {
+	return MapLocalContext(context.Background(), n, newLocal,
+		func(_ context.Context, local L, i int) (T, error) {
+			return fn(local, i)
+		})
+}
+
+// ForEachLocal is ForEach with per-worker local state (see MapLocal).
+func ForEachLocal[L any](n int, newLocal func() L, fn func(local L, i int) error) error {
+	_, err := MapLocal(n, newLocal, func(local L, i int) (struct{}, error) {
+		return struct{}{}, fn(local, i)
+	})
+	return err
+}
+
+// MapLocalContext is the full-featured engine under Map, MapContext and
+// MapLocal: context-aware scheduling, per-worker local state, fail-fast
+// claiming and the lowest-failing-index error contract. Locals are created
+// lazily, one per worker goroutine actually started (the serial path creates
+// exactly one).
+func MapLocalContext[L, T any](ctx context.Context, n int, newLocal func() L, fn func(ctx context.Context, local L, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -111,11 +144,12 @@ func MapContext[T any](ctx context.Context, n int, fn func(ctx context.Context, 
 	}
 	out := make([]T, n)
 	if w <= 1 {
+		local := newLocal()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := call(ctx, fn, i)
+			v, err := call(ctx, fn, local, i)
 			if err != nil {
 				return nil, err
 			}
@@ -132,6 +166,7 @@ func MapContext[T any](ctx context.Context, n int, fn func(ctx context.Context, 
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			local := newLocal()
 			for {
 				if failed.Load() || ctx.Err() != nil {
 					return
@@ -140,7 +175,7 @@ func MapContext[T any](ctx context.Context, n int, fn func(ctx context.Context, 
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = call(ctx, fn, i)
+				out[i], errs[i] = call(ctx, fn, local, i)
 				if errs[i] != nil {
 					failed.Store(true)
 				}

@@ -251,3 +251,120 @@ func TestForEachContextPropagatesCancel(t *testing.T) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
+
+func TestMapLocalOneLocalPerWorker(t *testing.T) {
+	// Each worker must get exactly one local, built inside that worker, and
+	// no two workers may share one.
+	const workers = 4
+	SetWorkers(workers)
+	defer SetWorkers(0)
+	var built atomic.Int64
+	type local struct{ uses int }
+	out, err := MapLocal(200, func() *local {
+		built.Add(1)
+		return &local{}
+	}, func(l *local, i int) (int, error) {
+		l.uses++ // races across workers would trip -race if locals were shared
+		return i * 3, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+	if b := built.Load(); b < 1 || b > workers {
+		t.Fatalf("built %d locals for %d workers", b, workers)
+	}
+}
+
+func TestMapLocalSerialSingleLocal(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	var built atomic.Int64
+	if _, err := MapLocal(50, func() int {
+		built.Add(1)
+		return 0
+	}, func(l int, i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b := built.Load(); b != 1 {
+		t.Fatalf("serial path built %d locals, want 1", b)
+	}
+}
+
+func TestMapLocalReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		_, err := MapLocal(50, func() struct{} { return struct{}{} },
+			func(l struct{}, i int) (int, error) {
+				switch i {
+				case 9:
+					return 0, errA
+				case 40:
+					return 0, errors.New("b")
+				}
+				return i, nil
+			})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want error of index 9", w, err)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestForEachLocalVisitsEveryIndex(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	var seen [41]atomic.Int64
+	if err := ForEachLocal(len(seen), func() []byte {
+		return make([]byte, 8) // scratch each worker reuses
+	}, func(buf []byte, i int) error {
+		buf[0] = byte(i)
+		seen[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("index %d visited %d times", i, n)
+		}
+	}
+}
+
+func TestMapLocalContextCancel(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapLocalContext(ctx, 100, func() struct{} { return struct{}{} },
+		func(ctx context.Context, l struct{}, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestMapLocalRecoversPanickingJob(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	_, err := MapLocal(20, func() struct{} { return struct{}{} },
+		func(l struct{}, i int) (int, error) {
+			if i == 5 {
+				panic("local meltdown")
+			}
+			return i, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T %v, want *PanicError", err, err)
+	}
+	if pe.Value != "local meltdown" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+}
