@@ -2,46 +2,24 @@
 // from stdin) into a deterministic JSON artifact mapping each benchmark
 // name to its measured ns/op, B/op and allocs/op — the format of the
 // repo's recorded perf trajectory (BENCH_PR6.json, written by
-// `make bench-json`).
+// `make bench-json`). The parsing and rendering live in
+// internal/benchparse; this command is the stdin/stdout shell around them.
 //
 // Usage:
 //
 //	go test -run=NONE -bench=. -benchmem ./... | benchjson > BENCH.json
-//
-// Benchmark names are stripped of their -GOMAXPROCS suffix; when a name
-// appears more than once (several packages, -count > 1), the last
-// measurement wins. Output keys are sorted, so identical measurements
-// produce identical bytes.
 package main
 
 import (
-	"bufio"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+
+	"supernpu/internal/benchparse"
 )
 
-// row holds one benchmark's parsed measurements. Missing quantities (e.g.
-// B/op without -benchmem) stay at -1 and are emitted as null.
-type row struct {
-	nsPerOp     float64
-	bytesPerOp  float64
-	allocsPerOp float64
-}
-
 func main() {
-	rows := map[string]row{}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		name, r, ok := parseLine(sc.Text())
-		if ok {
-			rows[name] = r
-		}
-	}
-	if err := sc.Err(); err != nil {
+	rows, err := benchparse.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -49,70 +27,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-
-	names := make([]string, 0, len(rows))
-	for name := range rows {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	var b strings.Builder
-	b.WriteString("{\n")
-	for i, name := range names {
-		r := rows[name]
-		fmt.Fprintf(&b, "  %q: {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-			name, num(r.nsPerOp), num(r.bytesPerOp), num(r.allocsPerOp))
-		if i < len(names)-1 {
-			b.WriteString(",")
-		}
-		b.WriteString("\n")
-	}
-	b.WriteString("}\n")
-	fmt.Print(b.String())
-}
-
-// num renders a measurement, with -1 (absent) as JSON null.
-func num(v float64) string {
-	if v < 0 {
-		return "null"
-	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
-// parseLine extracts one benchmark result line of the form
-//
-//	BenchmarkName-8   100   5481294 ns/op   774080 B/op   6016 allocs/op
-//
-// returning the bare benchmark name and its measurements.
-func parseLine(line string) (string, row, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", row{}, false
-	}
-	name := fields[0]
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
-	r := row{nsPerOp: -1, bytesPerOp: -1, allocsPerOp: -1}
-	found := false
-	for i := 2; i < len(fields)-1; i++ {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
-		case "ns/op":
-			r.nsPerOp = v
-			found = true
-		case "B/op":
-			r.bytesPerOp = v
-			found = true
-		case "allocs/op":
-			r.allocsPerOp = v
-			found = true
-		}
-	}
-	return name, r, found
+	fmt.Print(benchparse.RenderJSON(rows))
 }

@@ -12,6 +12,7 @@
 //	supernpu-explore -sweep division -ic-spread 0.05 -pulse-drop 1e-6
 //	supernpu-explore -sweep margin -fault-seed 42 -checkpoint margin.ck
 //	supernpu-explore -sweep margin -fault-seed 42 -checkpoint margin.ck -resume
+//	supernpu-explore -sweep width -trace-out spans.jsonl
 //
 // Fault injection (-fault-seed, -ic-spread, -pulse-drop, -bit-flip,
 // -erosion) perturbs every simulation of the sweep deterministically: the
@@ -32,6 +33,7 @@ import (
 	"syscall"
 
 	"supernpu"
+	"supernpu/internal/obs"
 	"supernpu/internal/parallel"
 	"supernpu/internal/report"
 	"supernpu/internal/simcache"
@@ -52,7 +54,23 @@ func main() {
 
 	ckPath := flag.String("checkpoint", "", "checkpoint file for kill/resume of long sweeps")
 	resume := flag.Bool("resume", false, "resume from an existing checkpoint instead of starting fresh")
+	traceOut := flag.String("trace-out", "", "write phase tracing spans (JSONL) to this file")
 	flag.Parse()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "supernpu-explore: trace-out:", err)
+			os.Exit(1)
+		}
+		obs.SetTraceWriter(f)
+		defer func() {
+			obs.SetTraceWriter(nil)
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "supernpu-explore: trace-out:", err)
+			}
+		}()
+	}
 
 	if *seq {
 		parallel.SetWorkers(1)
@@ -95,6 +113,9 @@ func openCheckpoint(path string, resume bool) (*supernpu.Checkpoint, error) {
 }
 
 func run(ctx context.Context, sweep string, width int, seed int64, icSpread, pulseDrop, bitFlip, erosion float64, ckPath string, resume bool) (err error) {
+	sp := obs.StartSpan("sweep", obs.L("kind", sweep))
+	defer sp.End()
+
 	ck, cerr := openCheckpoint(ckPath, resume)
 	if cerr != nil {
 		return cerr

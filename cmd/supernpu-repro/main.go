@@ -8,6 +8,7 @@
 //	supernpu-repro -parallel 4  # bound the worker pool at 4
 //	supernpu-repro -seq -v      # serial run, cache stats on stderr
 //	supernpu-repro -cpuprofile cpu.pprof -memprofile mem.pprof
+//	supernpu-repro -trace-out spans.jsonl   # phase-span trace (JSONL)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"supernpu/internal/experiments"
+	"supernpu/internal/obs"
 	"supernpu/internal/parallel"
 	"supernpu/internal/simcache"
 )
@@ -37,7 +39,23 @@ func run() int {
 	verbose := flag.Bool("v", false, "print simulation-cache hit/miss statistics to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
+	traceOut := flag.String("trace-out", "", "write phase tracing spans (JSONL) to this file")
 	flag.Parse()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "supernpu-repro: trace-out:", err)
+			return 1
+		}
+		obs.SetTraceWriter(f)
+		defer func() {
+			obs.SetTraceWriter(nil)
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "supernpu-repro: trace-out:", err)
+			}
+		}()
+	}
 
 	if *seq {
 		parallel.SetWorkers(1)

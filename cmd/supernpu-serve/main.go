@@ -16,6 +16,7 @@
 //	GET  /v1/designs    the five evaluation design points
 //	GET  /v1/workloads  the six evaluation CNNs
 //	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition of every obs instrument
 //	GET  /debug/stats   cache hit/miss, pool occupancy, queue gauges
 //	GET  /debug/vars    raw expvar
 //	GET  /debug/pprof/  live profiling (net/http/pprof: profile, heap, trace, …)
@@ -37,6 +38,11 @@ import (
 	"supernpu/internal/faultinject"
 	"supernpu/internal/parallel"
 	"supernpu/internal/server"
+
+	// The JSIM solver registers its instrument family (transients, steps,
+	// pulses) at init; linking it here keeps those series on /metrics even
+	// though the serving path reaches jsim only through the facade.
+	_ "supernpu/internal/jsim"
 )
 
 func main() {

@@ -1,0 +1,117 @@
+// Package benchparse parses `go test -bench -benchmem` text output into
+// per-benchmark measurements and renders them as the deterministic JSON
+// artifact of the repo's recorded perf trajectory (`make bench-json`,
+// cmd/benchjson).
+//
+// Benchmark names are stripped of their -GOMAXPROCS suffix; when a name
+// appears more than once (several packages, -count > 1), the last
+// measurement wins. Rendered keys are sorted, so identical measurements
+// produce identical bytes.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's parsed measurements. Missing quantities
+// (e.g. B/op without -benchmem) stay at -1 and render as JSON null.
+type Result struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// ParseLine extracts one benchmark result line of the form
+//
+//	BenchmarkName-8   100   5481294 ns/op   774080 B/op   6016 allocs/op
+//
+// returning the bare benchmark name and its measurements. ok is false for
+// lines that are not benchmark results (headers, PASS/ok trailers, prose).
+func ParseLine(line string) (name string, r Result, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r = Result{NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+	found := false
+	for i := 2; i < len(fields)-1; i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			found = true
+		case "B/op":
+			r.BytesPerOp = v
+			found = true
+		case "allocs/op":
+			r.AllocsPerOp = v
+			found = true
+		}
+	}
+	return name, r, found
+}
+
+// Parse reads benchmark output line by line and returns the merged
+// measurements by bare benchmark name (last occurrence wins). Lines longer
+// than one MiB are an error, as is any reader failure.
+func Parse(rd io.Reader) (map[string]Result, error) {
+	rows := map[string]Result{}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if name, r, ok := ParseLine(sc.Text()); ok {
+			rows[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderJSON renders the measurements as the benchjson artifact: one
+// object keyed by sorted benchmark name, each value carrying ns_per_op,
+// bytes_per_op and allocs_per_op (absent measurements as null).
+func RenderJSON(rows map[string]Result) string {
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		r := rows[name]
+		fmt.Fprintf(&b, "  %q: {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+			name, num(r.NsPerOp), num(r.BytesPerOp), num(r.AllocsPerOp))
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// num renders a measurement, with -1 (absent) as JSON null.
+func num(v float64) string {
+	if v < 0 {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

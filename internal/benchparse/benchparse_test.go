@@ -1,0 +1,152 @@
+package benchparse
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	tests := []struct {
+		name     string
+		line     string
+		wantName string
+		want     Result
+		wantOK   bool
+	}{
+		{
+			name:     "full benchmem line",
+			line:     "BenchmarkRunAll-8   100   5481294 ns/op   774080 B/op   6016 allocs/op",
+			wantName: "BenchmarkRunAll",
+			want:     Result{NsPerOp: 5481294, BytesPerOp: 774080, AllocsPerOp: 6016},
+			wantOK:   true,
+		},
+		{
+			name:     "missing allocs and bytes columns",
+			line:     "BenchmarkSolver-4   2000   81234 ns/op",
+			wantName: "BenchmarkSolver",
+			want:     Result{NsPerOp: 81234, BytesPerOp: -1, AllocsPerOp: -1},
+			wantOK:   true,
+		},
+		{
+			name:     "no GOMAXPROCS suffix",
+			line:     "BenchmarkEstimate   500   220000 ns/op",
+			wantName: "BenchmarkEstimate",
+			want:     Result{NsPerOp: 220000, BytesPerOp: -1, AllocsPerOp: -1},
+			wantOK:   true,
+		},
+		{
+			name:     "non-numeric suffix is kept",
+			line:     "BenchmarkSweep-wide   10   9e6 ns/op",
+			wantName: "BenchmarkSweep-wide",
+			want:     Result{NsPerOp: 9e6, BytesPerOp: -1, AllocsPerOp: -1},
+			wantOK:   true,
+		},
+		{
+			name:   "fractional ns with sub-benchmark path",
+			line:   "BenchmarkCache/hit-16   1000000000   0.5 ns/op   0 B/op   0 allocs/op",
+			want:   Result{NsPerOp: 0.5, BytesPerOp: 0, AllocsPerOp: 0},
+			wantOK: true, wantName: "BenchmarkCache/hit",
+		},
+		{name: "header line", line: "goos: linux"},
+		{name: "ok trailer", line: "ok  	supernpu/internal/jsim	4.2s"},
+		{name: "pass line", line: "PASS"},
+		{name: "empty line", line: ""},
+		{name: "benchmark with no units", line: "BenchmarkBroken-8 12 34 56"},
+		{name: "too few fields", line: "BenchmarkShort-8 100"},
+		{name: "unit without number", line: "BenchmarkOdd-8 100 fast ns/op"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			name, r, ok := ParseLine(tt.line)
+			if ok != tt.wantOK {
+				t.Fatalf("ParseLine(%q) ok = %v, want %v", tt.line, ok, tt.wantOK)
+			}
+			if !ok {
+				return
+			}
+			if name != tt.wantName {
+				t.Errorf("name = %q, want %q", name, tt.wantName)
+			}
+			if r != tt.want {
+				t.Errorf("result = %+v, want %+v", r, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseMultipleBenchmarks(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: supernpu/internal/jsim",
+		"BenchmarkSolver-8   2000   81234 ns/op   0 B/op   0 allocs/op",
+		"BenchmarkExtract-8   300   412000 ns/op   1024 B/op   12 allocs/op",
+		"PASS",
+		"pkg: supernpu",
+		"BenchmarkRunAll-8   10   5481294 ns/op",
+		"ok  	supernpu	2.1s",
+	}, "\n")
+	rows, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("parsed %d rows, want 3: %v", len(rows), rows)
+	}
+	if r := rows["BenchmarkExtract"]; r.AllocsPerOp != 12 {
+		t.Errorf("BenchmarkExtract allocs = %v, want 12", r.AllocsPerOp)
+	}
+	if r := rows["BenchmarkRunAll"]; r.BytesPerOp != -1 {
+		t.Errorf("BenchmarkRunAll bytes = %v, want -1 (absent)", r.BytesPerOp)
+	}
+}
+
+func TestParseLastMeasurementWins(t *testing.T) {
+	in := "BenchmarkX-8 100 111 ns/op\nBenchmarkX-16 100 222 ns/op\n"
+	rows, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows["BenchmarkX"].NsPerOp != 222 {
+		t.Fatalf("rows = %v, want the later BenchmarkX measurement (222)", rows)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rows, err := Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v, want none", rows)
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	rows := map[string]Result{
+		"BenchmarkB": {NsPerOp: 2, BytesPerOp: -1, AllocsPerOp: -1},
+		"BenchmarkA": {NsPerOp: 1.5, BytesPerOp: 64, AllocsPerOp: 3},
+	}
+	out := RenderJSON(rows)
+
+	// The artifact must be valid JSON with nulls for absent measurements.
+	var decoded map[string]map[string]*float64
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("RenderJSON output is not valid JSON: %v\n%s", err, out)
+	}
+	if decoded["BenchmarkB"]["bytes_per_op"] != nil {
+		t.Error("absent bytes_per_op did not render as null")
+	}
+	if v := decoded["BenchmarkA"]["ns_per_op"]; v == nil || *v != 1.5 {
+		t.Errorf("ns_per_op = %v, want 1.5", v)
+	}
+
+	// Keys render sorted, so the bytes are deterministic.
+	if strings.Index(out, "BenchmarkA") > strings.Index(out, "BenchmarkB") {
+		t.Errorf("keys not sorted:\n%s", out)
+	}
+	if out != RenderJSON(rows) {
+		t.Error("RenderJSON is not deterministic across calls")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"supernpu/internal/dau"
 	"supernpu/internal/faultinject"
 	"supernpu/internal/netunit"
+	"supernpu/internal/obs"
 	"supernpu/internal/pe"
 	"supernpu/internal/sfq"
 	"supernpu/internal/simcache"
@@ -26,6 +27,14 @@ import (
 var cache = simcache.New[*Result]()
 
 func init() { simcache.Register("estimator", cache) }
+
+// Estimation instruments: calls counts every Estimate/EstimateFaulted entry
+// (cached or not); the histogram times only cold computes. Write-only from
+// this package (obsflow).
+var (
+	mEstimates   = obs.Default.Counter("supernpu_estimator_estimates_total", "Estimate calls, cache hits included")
+	mColdSeconds = obs.Default.Histogram("supernpu_estimator_cold_seconds", "wall time of uncached three-layer estimations", obs.DurationEdges)
+)
 
 // logicAreaOverhead is the layout expansion factor of logic-dense units
 // (PE array, DAU) over their raw cell area: passive transmission lines,
@@ -171,10 +180,12 @@ func estimateNetwork(cfg arch.Config, lib *sfq.Library) UnitEstimate {
 // Results are memoised by configuration; repeated calls return one shared
 // *Result, which callers must treat as read-only.
 func Estimate(cfg arch.Config) (*Result, error) {
+	mEstimates.Inc()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return cache.GetOrCompute(simcache.ConfigKey(cfg), func() (*Result, error) {
+		defer obs.Time(mColdSeconds)()
 		return estimate(cfg)
 	})
 }
@@ -189,10 +200,12 @@ func EstimateFaulted(cfg arch.Config, fm *faultinject.Model) (*Result, error) {
 	if !fm.Enabled() {
 		return Estimate(cfg)
 	}
+	mEstimates.Inc()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return cache.GetOrCompute(simcache.ConfigKey(cfg)+fm.Key(), func() (*Result, error) {
+		defer obs.Time(mColdSeconds)()
 		return estimateWithLib(cfg, sfq.NewLibraryFaulted(sfq.AIST10(), cfg.Tech, fm))
 	})
 }

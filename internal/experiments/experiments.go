@@ -18,6 +18,7 @@ import (
 	"supernpu/internal/jsim"
 	"supernpu/internal/netunit"
 	"supernpu/internal/npusim"
+	"supernpu/internal/obs"
 	"supernpu/internal/parallel"
 	"supernpu/internal/report"
 	"supernpu/internal/roofline"
@@ -35,8 +36,20 @@ func IDs() []string {
 	}
 }
 
-// Run regenerates one exhibit and returns its rendered text.
+// Run regenerates one exhibit and returns its rendered text. Each run is
+// timed into the supernpu_exhibit_seconds histogram (labelled by exhibit
+// id) and wrapped in an "exhibit" tracing span; both are pure telemetry
+// and never influence the rendered bytes.
 func Run(id string) (string, error) {
+	defer obs.Time(obs.Default.Histogram("supernpu_exhibit_seconds",
+		"wall time to regenerate one exhibit", obs.DurationEdges, obs.L("exhibit", id)))()
+	sp := obs.StartSpan("exhibit", obs.L("id", id))
+	defer sp.End()
+	return run(id)
+}
+
+// run dispatches an exhibit id to its generator.
+func run(id string) (string, error) {
 	switch id {
 	case "fig5":
 		return Fig5()
@@ -77,6 +90,8 @@ func Run(id string) (string, error) {
 // by parallel.Workers()) and join in paper order, so the output is
 // byte-identical to a serial run.
 func RunAll() (string, error) {
+	sp := obs.StartSpan("report")
+	defer sp.End()
 	ids := IDs()
 	outs, err := parallel.Map(len(ids), func(i int) (string, error) {
 		out, err := Run(ids[i])

@@ -107,6 +107,7 @@ func (p *PulseDetector) Observe(step int, t float64, phi, v []float64) {
 			}
 			p.times[i] = append(p.times[i], (float64(step-1)+frac)*p.dt)
 			p.next[i] += 2 * math.Pi
+			mPulses.Inc()
 		}
 		p.prev[i] = p1
 	}

@@ -293,10 +293,13 @@ func (s *Solver) integrate(steps, n int, dt float64, chain bool, errFmt string, 
 			s.phi[i] += dt / 6 * (s.k1p[i] + 2*s.k2p[i] + 2*s.k3p[i] + s.k4p[i])
 			s.v[i] += dt / 6 * (s.k1v[i] + 2*s.k2v[i] + 2*s.k3v[i] + s.k4v[i])
 			if math.IsNaN(s.phi[i]) || math.IsInf(s.phi[i], 0) {
+				mDiverged.Inc()
 				return fmt.Errorf(errFmt, t/sfq.Picosecond, i)
 			}
 		}
 	}
+	mTransients.Inc()
+	mSteps.Add(int64(steps))
 	return nil
 }
 

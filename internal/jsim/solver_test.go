@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"supernpu/internal/faultinject"
+	sobs "supernpu/internal/obs"
 	"supernpu/internal/sfq"
 	"supernpu/internal/simcache"
 )
@@ -159,6 +160,42 @@ func TestSolverSteadyStateAllocs(t *testing.T) {
 	run() // warm-up sizes every buffer
 	if n := testing.AllocsPerRun(10, run); n != 0 {
 		t.Fatalf("steady-state solver allocations = %g per run, want 0", n)
+	}
+}
+
+// With observability explicitly enabled (the shipping default), the
+// always-live jsim counters must keep the warm hot loop at zero
+// allocations per transient — and must actually count while doing it.
+func TestSolverAllocsWithInstrumentationEnabled(t *testing.T) {
+	sobs.SetEnabled(true)
+	ch := StandardJTL(10)
+	var (
+		s     Solver
+		pulse PulseDetector
+		fin   FinalState
+	)
+	obs := []Observer{&pulse, &fin}
+	run := func() {
+		if err := s.RunChain(ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up sizes every buffer
+	transients0 := mTransients.Value()
+	steps0 := mSteps.Value()
+	pulses0 := mPulses.Value()
+	if n := testing.AllocsPerRun(10, run); n != 0 {
+		t.Fatalf("instrumented solver allocations = %g per run, want 0", n)
+	}
+	// AllocsPerRun calls run 11 times (one warm-up plus 10 measured).
+	if d := mTransients.Value() - transients0; d < 11 {
+		t.Errorf("transients counter moved by %d, want >= 11", d)
+	}
+	if mSteps.Value() <= steps0 {
+		t.Error("steps counter did not move")
+	}
+	if mPulses.Value() <= pulses0 {
+		t.Error("pulse counter did not move (the JTL trigger pulse must propagate)")
 	}
 }
 

@@ -23,6 +23,8 @@
 //	floateq         == / != between computed floating-point operands
 //	cachekey        simcache key builders that skip exported fields of the
 //	                structs they fingerprint
+//	obsflow         reads of obs instrument or gate state inside the
+//	                modeling packages (observability is write-only there)
 //
 // False positives are silenced in place with a
 //
@@ -125,6 +127,7 @@ func Rules() []Rule {
 		&panicBoundaryRule{},
 		&floatEqRule{},
 		&cacheKeyRule{},
+		&obsFlowRule{},
 	}
 }
 

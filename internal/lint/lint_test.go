@@ -102,6 +102,7 @@ func TestNakedGoFixture(t *testing.T)        { checkFixture(t, "nakedgo", "naked
 func TestPanicBoundaryFixture(t *testing.T)  { checkFixture(t, "panicboundary", "panicboundary") }
 func TestFloatEqFixture(t *testing.T)        { checkFixture(t, "floateq", "floateq") }
 func TestCacheKeyFixture(t *testing.T)       { checkFixture(t, "cachekey", "cachekey") }
+func TestObsFlowFixture(t *testing.T)        { checkFixture(t, "obsflow", "obsflow") }
 
 // TestSuppression checks the //lint:allow comment forms: standalone
 // above, inline, comma lists, and that allowing one rule does not silence

@@ -28,7 +28,29 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"supernpu/internal/obs"
 )
+
+// Pool instruments: batch and task counts are always-live counters; the
+// queue-wait histogram (delay between a batch being submitted and each of
+// its tasks being claimed by a worker) reads the clock only while
+// observability is enabled. None of it feeds back into scheduling, so
+// results stay byte-identical with instrumentation on or off.
+var (
+	poolRuns      = obs.Default.Counter("supernpu_pool_runs_total", "Map/ForEach batches submitted to the worker pool")
+	poolTasks     = obs.Default.Counter("supernpu_pool_tasks_total", "tasks executed by the worker pool")
+	poolPanics    = obs.Default.Counter("supernpu_pool_panics_total", "task panics recovered into *PanicError")
+	poolQueueWait = obs.Default.Histogram("supernpu_pool_queue_wait_seconds", "delay between batch submission and task claim", obs.DurationEdges)
+	poolBatch     = obs.Default.Histogram("supernpu_pool_batch_tasks", "tasks per submitted batch", obs.SizeEdges)
+)
+
+func init() {
+	obs.Default.GaugeFunc("supernpu_pool_workers", "effective worker count of the pool", func() float64 {
+		return float64(Workers())
+	})
+}
 
 // workers holds the configured worker count; 0 means runtime.NumCPU().
 var workers atomic.Int64
@@ -77,6 +99,7 @@ func (e *PanicError) Unwrap() error {
 func call[L, T any](ctx context.Context, fn func(ctx context.Context, local L, i int) (T, error), local L, i int) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			poolPanics.Inc()
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
@@ -138,6 +161,12 @@ func MapLocalContext[L, T any](ctx context.Context, n int, newLocal func() L, fn
 	if n <= 0 {
 		return nil, nil
 	}
+	poolRuns.Inc()
+	poolBatch.Observe(float64(n))
+	var submitted time.Time
+	if obs.Enabled() {
+		submitted = time.Now()
+	}
 	w := Workers()
 	if w > n {
 		w = n
@@ -149,6 +178,10 @@ func MapLocalContext[L, T any](ctx context.Context, n int, newLocal func() L, fn
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			if !submitted.IsZero() {
+				poolQueueWait.Observe(time.Since(submitted).Seconds())
+			}
+			poolTasks.Inc()
 			v, err := call(ctx, fn, local, i)
 			if err != nil {
 				return nil, err
@@ -175,6 +208,10 @@ func MapLocalContext[L, T any](ctx context.Context, n int, newLocal func() L, fn
 				if i >= n {
 					return
 				}
+				if !submitted.IsZero() {
+					poolQueueWait.Observe(time.Since(submitted).Seconds())
+				}
+				poolTasks.Inc()
 				out[i], errs[i] = call(ctx, fn, local, i)
 				if errs[i] != nil {
 					failed.Store(true)

@@ -13,6 +13,7 @@ import (
 	"supernpu/internal/core"
 	"supernpu/internal/estimator"
 	"supernpu/internal/faultinject"
+	"supernpu/internal/obs"
 	"supernpu/internal/parallel"
 	"supernpu/internal/simcache"
 	"supernpu/internal/workload"
@@ -71,7 +72,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}
-		s.metrics.degraded.Add(1)
+		s.metrics.degraded.Inc()
 		s.opts.Logger.Printf("server: degraded evaluation of %s on %s: %v", d.Name(), net.Name, err)
 		resp := evaluationResponse(fb)
 		resp.Degraded = true
@@ -181,6 +182,14 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves GET /metrics: the process-wide obs registry in
+// Prometheus text exposition format (version 0.0.4). It sits on the
+// always-on side of the mux so scrapes keep answering under full load.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheus(w)
 }
 
 // statsResponse is the GET /debug/stats payload.

@@ -1,4 +1,4 @@
-// Middleware of the evaluation service: expvar metrics, the bounded-queue
+// Middleware of the evaluation service: request metrics, the bounded-queue
 // backpressure limiter, panic recovery and request logging.
 package server
 
@@ -8,39 +8,77 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
+	"supernpu/internal/obs"
 	"supernpu/internal/simcache"
 )
 
-// metrics is the service's expvar surface. Gauges (running, queued) move in
-// both directions; the rest are monotonic counters. The vars are published
-// once per process — test servers share them, which only ever adds counts.
+// metrics is the service's instrument surface, backed by the obs registry
+// (GET /metrics serves it in Prometheus text format). Gauges (running,
+// queued) move in both directions; the rest are monotonic counters. The
+// instruments are registered once per process — test servers share them,
+// which only ever adds counts.
 type metrics struct {
-	requests *expvar.Int // every request seen
-	running  *expvar.Int // gauge: requests holding a work slot
-	queued   *expvar.Int // gauge: requests waiting for a work slot
-	rejected *expvar.Int // 429 responses from the limiter
-	panics   *expvar.Int // handler panics recovered to 500
-	degraded *expvar.Int // evaluations served by the analytical fallback
+	requests *obs.Counter // every request seen
+	running  *obs.Gauge   // requests holding a work slot
+	queued   *obs.Gauge   // requests waiting for a work slot
+	rejected *obs.Counter // 429 responses from the limiter
+	panics   *obs.Counter // handler panics recovered to 500
+	degraded *obs.Counter // evaluations served by the analytical fallback
 }
 
-// globalMetrics is built at package init; expvar names are process-global.
+// globalMetrics is built at package init; metric names are process-global.
 var globalMetrics = &metrics{
-	requests: expvar.NewInt("supernpu.server.requests"),
-	running:  expvar.NewInt("supernpu.server.running"),
-	queued:   expvar.NewInt("supernpu.server.queued"),
-	rejected: expvar.NewInt("supernpu.server.rejected"),
-	panics:   expvar.NewInt("supernpu.server.panics"),
-	degraded: expvar.NewInt("supernpu.server.degraded"),
+	requests: obs.Default.Counter("supernpu_http_requests_total", "requests seen by the service"),
+	running:  obs.Default.Gauge("supernpu_http_inflight", "requests holding a work slot"),
+	queued:   obs.Default.Gauge("supernpu_http_queued", "requests waiting for a work slot"),
+	rejected: obs.Default.Counter("supernpu_http_shed_total", "requests shed with 429 by the backpressure limiter"),
+	panics:   obs.Default.Counter("supernpu_http_panics_total", "handler panics recovered to 500"),
+	degraded: obs.Default.Counter("supernpu_http_degraded_total", "evaluations served by the analytical fallback"),
 }
 
-// init mirrors the simulation caches' in-flight gauge into expvar: the
-// number of distinct (uncoalesced) simulations running right now.
+// requestSeconds returns the request-latency histogram series for one
+// classified endpoint (bounded label set — see classifyEndpoint); the
+// logging middleware observes into it.
+func requestSeconds(endpoint string) *obs.Histogram {
+	return obs.Default.Histogram("supernpu_http_request_seconds",
+		"request wall time by endpoint", obs.DurationEdges, obs.L("endpoint", endpoint))
+}
+
+// classifyEndpoint maps a request path onto a small fixed label set, so
+// arbitrary client paths can never explode the metric's cardinality.
+func classifyEndpoint(path string) string {
+	switch path {
+	case "/v1/evaluate", "/v1/estimate", "/v1/explore", "/v1/designs", "/v1/workloads":
+		return strings.TrimPrefix(path, "/v1/")
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	}
+	if strings.HasPrefix(path, "/debug/") {
+		return "debug"
+	}
+	return "other"
+}
+
+// init keeps the service's historical expvar names alive as read-through
+// mirrors of the obs instruments (dashboards scrape /debug/vars), and
+// mirrors the simulation caches' in-flight gauge: the number of distinct
+// (uncoalesced) simulations running right now.
 func init() {
-	expvar.Publish("supernpu.sims.inflight", expvar.Func(func() any {
-		return simcache.TotalInFlight()
-	}))
+	mirror := func(name string, read func() int64) {
+		expvar.Publish(name, expvar.Func(func() any { return read() }))
+	}
+	mirror("supernpu.server.requests", globalMetrics.requests.Value)
+	mirror("supernpu.server.running", globalMetrics.running.Value)
+	mirror("supernpu.server.queued", globalMetrics.queued.Value)
+	mirror("supernpu.server.rejected", globalMetrics.rejected.Value)
+	mirror("supernpu.server.panics", globalMetrics.panics.Value)
+	mirror("supernpu.server.degraded", globalMetrics.degraded.Value)
+	mirror("supernpu.sims.inflight", simcache.TotalInFlight)
 }
 
 // limit is the backpressure gate: at most MaxConcurrent requests hold a work
@@ -56,7 +94,7 @@ func (s *Server) limit(next http.Handler) http.Handler {
 			// exact under concurrent arrivals), then wait for a work slot.
 			if q := s.queued.Add(1); q > int64(s.opts.QueueDepth) {
 				s.queued.Add(-1)
-				s.metrics.rejected.Add(1)
+				s.metrics.rejected.Inc()
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusTooManyRequests,
 					fmt.Sprintf("queue full (%d running, %d queued); retry later", s.opts.MaxConcurrent, q-1))
@@ -77,8 +115,8 @@ func (s *Server) limit(next http.Handler) http.Handler {
 			}
 		}
 		defer func() { <-s.sem }()
-		s.metrics.running.Add(1)
-		defer s.metrics.running.Add(-1)
+		s.metrics.running.Inc()
+		defer s.metrics.running.Dec()
 		next.ServeHTTP(w, r)
 	})
 }
@@ -86,7 +124,7 @@ func (s *Server) limit(next http.Handler) http.Handler {
 // countRequests bumps the total-request counter.
 func (s *Server) countRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.requests.Add(1)
+		s.metrics.requests.Inc()
 		next.ServeHTTP(w, r)
 	})
 }
@@ -97,7 +135,7 @@ func (s *Server) recovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
-				s.metrics.panics.Add(1)
+				s.metrics.panics.Inc()
 				s.opts.Logger.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
 				writeError(w, http.StatusInternalServerError, "internal error")
 			}
@@ -126,7 +164,8 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	return sr.ResponseWriter.Write(b)
 }
 
-// logging emits one line per request: method, path, status, duration.
+// logging emits one line per request (method, path, status, duration) and
+// feeds the per-endpoint latency histogram.
 func (s *Server) logging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -136,7 +175,9 @@ func (s *Server) logging(next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK
 		}
+		elapsed := time.Since(start)
+		requestSeconds(classifyEndpoint(r.URL.Path)).Observe(elapsed.Seconds())
 		s.opts.Logger.Printf("server: %s %s %s %s", r.Method, r.URL.Path,
-			strconv.Itoa(status), time.Since(start).Round(time.Microsecond))
+			strconv.Itoa(status), elapsed.Round(time.Microsecond))
 	})
 }

@@ -15,7 +15,9 @@
 //   - every work endpoint runs under a per-request timeout
 //     (http.TimeoutHandler), and the whole service drains in-flight requests
 //     on SIGINT/SIGTERM via http.Server.Shutdown;
-//   - load and cache gauges are exported through expvar and GET /debug/stats.
+//   - load and cache instruments live in the internal/obs registry, served
+//     in Prometheus text format on GET /metrics (with legacy expvar mirrors
+//     on /debug/vars and a JSON snapshot on /debug/stats).
 //
 // Responses are byte-identical to serial, direct calls into the facade: the
 // models are deterministic pure functions, results are assembled in request
@@ -117,6 +119,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/designs", s.handleDesigns)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	// Live profiling endpoints (net/http/pprof) on the always-on side of the

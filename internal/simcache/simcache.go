@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"supernpu/internal/arch"
+	"supernpu/internal/obs"
 	"supernpu/internal/workload"
 )
 
@@ -143,14 +144,20 @@ type entry[V any] struct {
 type Cache[V any] struct {
 	mu       sync.Mutex
 	m        map[string]*entry[V]
-	hits     atomic.Int64
-	miss     atomic.Int64
+	hits     *obs.Counter
+	miss     *obs.Counter
 	inflight atomic.Int64
 }
 
-// New returns an empty cache.
+// New returns an empty cache. Its hit/miss counters are obs instruments
+// from birth; Register later exposes them on the metrics registry under
+// the cache's name.
 func New[V any]() *Cache[V] {
-	return &Cache[V]{m: make(map[string]*entry[V])}
+	return &Cache[V]{
+		m:    make(map[string]*entry[V]),
+		hits: obs.NewCounter(),
+		miss: obs.NewCounter(),
+	}
 }
 
 // GetOrCompute returns the cached value for key, computing and storing it on
@@ -162,9 +169,9 @@ func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (V, error
 	if !ok {
 		e = &entry[V]{}
 		c.m[key] = e
-		c.miss.Add(1)
+		c.miss.Inc()
 	} else {
-		c.hits.Add(1)
+		c.hits.Inc()
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
@@ -210,13 +217,13 @@ func (c *Cache[V]) Clear() {
 	c.mu.Lock()
 	c.m = make(map[string]*entry[V])
 	c.mu.Unlock()
-	c.hits.Store(0)
-	c.miss.Store(0)
+	c.hits.Reset()
+	c.miss.Reset()
 }
 
 // Counters returns the cumulative hit and miss counts since the last Clear.
 func (c *Cache[V]) Counters() (hits, misses int64) {
-	return c.hits.Load(), c.miss.Load()
+	return c.hits.Value(), c.miss.Value()
 }
 
 // Stats is one registered cache's counters snapshot.
@@ -251,7 +258,9 @@ var (
 )
 
 // Register adds a named cache to the global registry, replacing any
-// previous cache of the same name. Producers call it from package init.
+// previous cache of the same name, and publishes its counters on the
+// metrics registry as the supernpu_cache_* family with a cache=name
+// label. Producers call it from package init.
 func Register(name string, c interface {
 	Counters() (hits, misses int64)
 	Len() int
@@ -259,8 +268,23 @@ func Register(name string, c interface {
 	InFlight() int64
 }) {
 	regMu.Lock()
-	defer regMu.Unlock()
 	registry[name] = c
+	regMu.Unlock()
+	lbl := obs.L("cache", name)
+	obs.Default.CounterFunc("supernpu_cache_hits_total", "memo cache lookups served from a completed entry", func() float64 {
+		h, _ := c.Counters()
+		return float64(h)
+	}, lbl)
+	obs.Default.CounterFunc("supernpu_cache_misses_total", "memo cache lookups that started a computation", func() float64 {
+		_, m := c.Counters()
+		return float64(m)
+	}, lbl)
+	obs.Default.GaugeFunc("supernpu_cache_entries", "memoised entries resident in the cache", func() float64 {
+		return float64(c.Len())
+	}, lbl)
+	obs.Default.GaugeFunc("supernpu_cache_inflight", "distinct computations currently running", func() float64 {
+		return float64(c.InFlight())
+	}, lbl)
 }
 
 // Snapshot returns every registered cache's counters, sorted by name.

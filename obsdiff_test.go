@@ -1,0 +1,95 @@
+package supernpu
+
+// Differential observability test: the tentpole contract of internal/obs is
+// that instruments and spans NEVER feed back into modeled numbers. This test
+// enforces it end-to-end by regenerating the full exhibit report three ways —
+// observability disabled, enabled, and enabled with span tracing live — and
+// demanding byte-identical output each time (and identical to the committed
+// golden snapshot). The static side of the same contract is the supernpu-lint
+// obsflow rule; this is the dynamic side.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"supernpu/internal/obs"
+)
+
+func TestFullReportByteIdenticalWithObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full report three times")
+	}
+	t.Cleanup(func() {
+		obs.SetEnabled(true)
+		obs.SetTraceWriter(nil)
+	})
+
+	obs.SetEnabled(false)
+	off, err := RunAllExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.SetEnabled(true)
+	on, err := RunAllExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != on {
+		t.Fatalf("report differs with observability enabled (%d vs %d bytes): instruments leaked into modeled numbers", len(off), len(on))
+	}
+
+	var trace bytes.Buffer
+	obs.SetTraceWriter(&trace)
+	traced, err := RunAllExperiments()
+	obs.SetTraceWriter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced != off {
+		t.Fatal("report differs with span tracing live: tracing leaked into modeled numbers")
+	}
+
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "full_report.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != string(want) {
+		t.Error("report with observability disabled drifted from testdata/golden/full_report.golden")
+	}
+
+	// The trace itself must be well-formed JSONL with the report span and
+	// one exhibit span per experiment.
+	lines := strings.Split(strings.TrimSuffix(trace.String(), "\n"), "\n")
+	exhibits := 0
+	sawReport := false
+	for _, line := range lines {
+		var rec struct {
+			Span   string            `json:"span"`
+			DurNs  int64             `json:"dur_ns"`
+			Labels map[string]string `json:"labels"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line is not JSON: %v\n%q", err, line)
+		}
+		switch rec.Span {
+		case "exhibit":
+			exhibits++
+		case "report":
+			sawReport = true
+		}
+		if rec.DurNs < 0 {
+			t.Errorf("span %s has negative duration %d", rec.Span, rec.DurNs)
+		}
+	}
+	if !sawReport {
+		t.Error("trace has no report span")
+	}
+	if want := len(ExperimentIDs()); exhibits != want {
+		t.Errorf("trace has %d exhibit spans, want %d (one per experiment)", exhibits, want)
+	}
+}
