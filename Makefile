@@ -10,7 +10,7 @@ COVER_PACKAGES ?= ./internal/server:70 ./internal/obs:80 ./internal/checkpoint:7
 # Per-target budget for the fuzz smoke pass (make fuzz).
 FUZZTIME ?= 15s
 
-.PHONY: check build vet test race bench bench-sweep bench-json bench-smoke repro serve cover fuzz metrics-smoke fault-smoke race-resilience golden-update clean lint fmt-check
+.PHONY: check build vet test race bench bench-sweep bench-json bench-smoke repro serve cover fuzz metrics-smoke fault-smoke chaos-smoke race-resilience golden-update clean lint fmt-check
 
 check: build lint race
 
@@ -105,6 +105,13 @@ fault-smoke:
 	cmp fault-smoke-par.out fault-smoke-seq.out
 	@echo "fault-injection smoke: parallel and serial sweeps byte-identical"
 	@rm -f fault-smoke-par.out fault-smoke-seq.out
+
+# Chaos smoke: the fault-injected margin sweep under the race detector
+# with an aggressive cancellation hammer (timeouts landing at staggered
+# offsets across the sweep's lifetime). Asserts cancellations stay inside
+# the guard taxonomy, leak no goroutines, and never poison a cache.
+chaos-smoke:
+	SUPERNPU_CHAOS=1 $(GO) test -race -count=1 -run TestChaosMarginSweepCancellationHammer ./internal/experiments -v
 
 # Race-detector pass focused on the resilience subsystems.
 race-resilience:

@@ -23,14 +23,14 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	out, err := experiments.Run(id)
+	out, err := experiments.Run(context.Background(), id)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Log("\n" + out)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Run(id); err != nil {
+		if _, err := experiments.Run(context.Background(), id); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,7 +95,7 @@ func benchRunAll(b *testing.B, workers int) {
 	defer parallel.SetWorkers(0)
 	for i := 0; i < b.N; i++ {
 		simcache.ClearAll()
-		if _, err := experiments.RunAll(); err != nil {
+		if _, err := experiments.RunAll(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,12 +115,12 @@ func BenchmarkRunAllWarm(b *testing.B) {
 	parallel.SetWorkers(runtime.NumCPU())
 	defer parallel.SetWorkers(0)
 	simcache.ClearAll()
-	if _, err := experiments.RunAll(); err != nil {
+	if _, err := experiments.RunAll(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunAll(); err != nil {
+		if _, err := experiments.RunAll(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -133,7 +133,7 @@ func BenchmarkSimulateCold(b *testing.B) {
 	cfg := arch.SuperNPU()
 	for i := 0; i < b.N; i++ {
 		simcache.ClearAll()
-		if _, err := npusim.Simulate(cfg, net, 0); err != nil {
+		if _, err := npusim.Simulate(context.Background(), cfg, net, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -145,12 +145,12 @@ func BenchmarkSimulateCached(b *testing.B) {
 	net := workload.ResNet50()
 	cfg := arch.SuperNPU()
 	simcache.ClearAll()
-	if _, err := npusim.Simulate(cfg, net, 0); err != nil {
+	if _, err := npusim.Simulate(context.Background(), cfg, net, 0); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := npusim.Simulate(cfg, net, 0); err != nil {
+		if _, err := npusim.Simulate(context.Background(), cfg, net, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -164,7 +164,7 @@ func BenchmarkNPUSimResNet50(b *testing.B) {
 	net := workload.ResNet50()
 	cfg := arch.SuperNPU()
 	for i := 0; i < b.N; i++ {
-		if _, err := npusim.Simulate(cfg, net, 0); err != nil {
+		if _, err := npusim.Simulate(context.Background(), cfg, net, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -176,7 +176,7 @@ func BenchmarkScaleSimResNet50(b *testing.B) {
 	net := workload.ResNet50()
 	cfg := scalesim.TPU()
 	for i := 0; i < b.N; i++ {
-		if _, err := scalesim.Simulate(cfg, net, 0); err != nil {
+		if _, err := scalesim.Simulate(context.Background(), cfg, net, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -205,7 +205,7 @@ func BenchmarkSystolicFunctional(b *testing.B) {
 // 12-stage JTL (the gate-parameter extraction path).
 func BenchmarkJSIMTransient(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := jsim.ExtractJTLParams(); err != nil {
+		if _, err := jsim.ExtractJTLParams(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,7 +216,7 @@ func BenchmarkJSIMTransient(b *testing.B) {
 func BenchmarkEstimateSuperNPU(b *testing.B) {
 	d := SuperNPU()
 	for i := 0; i < b.N; i++ {
-		if _, err := EstimateDesign(d); err != nil {
+		if _, err := EstimateDesign(context.Background(), d); err != nil {
 			b.Fatal(err)
 		}
 	}

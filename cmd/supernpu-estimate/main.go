@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"supernpu"
 	"supernpu/internal/netlist"
@@ -83,7 +86,9 @@ func main() {
 	if *ersfq {
 		d = supernpu.ERSFQ(d)
 	}
-	est, err := supernpu.EstimateDesign(d)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	est, err := supernpu.EstimateDesign(ctx, d)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "supernpu-estimate:", err)
 		os.Exit(1)

@@ -13,6 +13,7 @@
 //	supernpu-explore -sweep margin -fault-seed 42 -checkpoint margin.ck
 //	supernpu-explore -sweep margin -fault-seed 42 -checkpoint margin.ck -resume
 //	supernpu-explore -sweep width -trace-out spans.jsonl
+//	supernpu-explore -sweep margin -deadline 10m -max-retries 3
 //
 // Fault injection (-fault-seed, -ic-spread, -pulse-drop, -bit-flip,
 // -erosion) perturbs every simulation of the sweep deterministically: the
@@ -25,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +35,8 @@ import (
 	"syscall"
 
 	"supernpu"
+	"supernpu/internal/guard"
+	"supernpu/internal/jsim"
 	"supernpu/internal/obs"
 	"supernpu/internal/parallel"
 	"supernpu/internal/report"
@@ -55,7 +59,11 @@ func main() {
 	ckPath := flag.String("checkpoint", "", "checkpoint file for kill/resume of long sweeps")
 	resume := flag.Bool("resume", false, "resume from an existing checkpoint instead of starting fresh")
 	traceOut := flag.String("trace-out", "", "write phase tracing spans (JSONL) to this file")
+	deadline := flag.Duration("deadline", 0, "abort the sweep after this wall-clock budget (0 = none)")
+	maxRetries := flag.Int("max-retries", jsim.MaxDtRetries(), "refined-dt retries per RCSJ transient after a numeric failure")
 	flag.Parse()
+
+	jsim.SetMaxDtRetries(*maxRetries)
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -80,8 +88,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	if err := run(ctx, *sweep, *width, *faultSeed, *icSpread, *pulseDrop, *bitFlip, *erosion, *ckPath, *resume); err != nil {
+		if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrDeadlineExceeded) {
+			// A canceled sweep is a clean exit: the checkpoint holds every
+			// completed point and -resume picks up from there.
+			fmt.Fprintln(os.Stderr, "supernpu-explore: sweep canceled:", err)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "supernpu-explore:", err)
 		os.Exit(1)
 	}

@@ -9,17 +9,25 @@
 //	supernpu-repro -seq -v      # serial run, cache stats on stderr
 //	supernpu-repro -cpuprofile cpu.pprof -memprofile mem.pprof
 //	supernpu-repro -trace-out spans.jsonl   # phase-span trace (JSONL)
+//	supernpu-repro -deadline 5m             # hard wall-clock budget
+//	supernpu-repro -max-retries 0           # disable refined-dt recovery
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	rpprof "runtime/pprof"
 	"strings"
+	"syscall"
 
 	"supernpu/internal/experiments"
+	"supernpu/internal/guard"
+	"supernpu/internal/jsim"
 	"supernpu/internal/obs"
 	"supernpu/internal/parallel"
 	"supernpu/internal/simcache"
@@ -40,7 +48,21 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	traceOut := flag.String("trace-out", "", "write phase tracing spans (JSONL) to this file")
+	deadline := flag.Duration("deadline", 0, "abort the run after this wall-clock budget (0 = none)")
+	maxRetries := flag.Int("max-retries", jsim.MaxDtRetries(), "refined-dt retries per RCSJ transient after a numeric failure")
 	flag.Parse()
+
+	jsim.SetMaxDtRetries(*maxRetries)
+	// Ctrl-C (or an expired -deadline) cancels the context threaded through
+	// every simulation loop; the run stops within one poll interval and
+	// reports a guard-taxonomy error instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -94,11 +116,11 @@ func run() int {
 	var err error
 	switch *exp {
 	case "all":
-		out, err = experiments.RunAll()
+		out, err = experiments.RunAll(ctx)
 	case "ablations":
 		var b strings.Builder
 		for _, id := range experiments.AblationIDs() {
-			o, e := experiments.Run(id)
+			o, e := experiments.Run(ctx, id)
 			if e != nil {
 				err = e
 				break
@@ -108,9 +130,13 @@ func run() int {
 		}
 		out = b.String()
 	default:
-		out, err = experiments.Run(*exp)
+		out, err = experiments.Run(ctx, *exp)
 	}
 	if err != nil {
+		if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrDeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "supernpu-repro: run canceled:", err)
+			return 130
+		}
 		fmt.Fprintln(os.Stderr, "supernpu-repro:", err)
 		return 1
 	}

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"supernpu"
 	"supernpu/internal/report"
@@ -46,7 +49,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "supernpu-sim:", err)
 		os.Exit(1)
 	}
-	ev, err := supernpu.Evaluate(d, net, *batch)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ev, err := supernpu.Evaluate(ctx, d, net, *batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "supernpu-sim:", err)
 		os.Exit(1)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A compact CIFAR-style CNN.
 	net := supernpu.NewNetwork("TinyCIFAR",
 		supernpu.NewConvLayer("conv1", 32, 32, 3, 3, 3, 32, 1, 1),
@@ -39,7 +41,7 @@ func main() {
 
 	// End-to-end evaluation.
 	for _, d := range []supernpu.Design{supernpu.TPU(), supernpu.SuperNPU()} {
-		ev, err := supernpu.Evaluate(d, net, 0)
+		ev, err := supernpu.Evaluate(ctx, d, net, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

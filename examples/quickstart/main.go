@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,17 +12,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	net, err := supernpu.WorkloadByName("ResNet50")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 1. Simulate on both machines at their maximum on-chip batch.
-	tpu, err := supernpu.Evaluate(supernpu.TPU(), net, 0)
+	tpu, err := supernpu.Evaluate(ctx, supernpu.TPU(), net, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	snpu, err := supernpu.Evaluate(supernpu.SuperNPU(), net, 0)
+	snpu, err := supernpu.Evaluate(ctx, supernpu.SuperNPU(), net, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func main() {
 	fmt.Printf("  speedup  : %.1fx\n\n", snpu.Throughput/tpu.Throughput)
 
 	// 2. Power: the RSFQ design burns static bias power; ERSFQ removes it.
-	ersfq, err := supernpu.Evaluate(supernpu.ERSFQ(supernpu.SuperNPU()), net, 0)
+	ersfq, err := supernpu.Evaluate(ctx, supernpu.ERSFQ(supernpu.SuperNPU()), net, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,21 +15,22 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Device level: transient RCSJ simulation of a Josephson
 	// transmission line extracts the gate-level anchors.
-	params, err := jsim.ExtractJTLParams()
+	params, err := jsim.ExtractJTLParams(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("RCSJ extraction: JTL stage delay %.2f ps, switching energy %.3f aJ/JJ\n",
 		params.StageDelay/sfq.Picosecond, params.SwitchEnergyPerJJ/sfq.Attojoule)
 
-	if err := jsim.DFFDemo(); err != nil {
+	if err := jsim.DFFDemo(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("storage-loop DFF principle: fluxon held until clocked, then released")
 
-	margins, err := jsim.BiasMargins()
+	margins, err := jsim.BiasMargins(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	designs := supernpu.Designs()
 
 	fmt.Printf("%-12s", "workload")
@@ -19,13 +21,13 @@ func main() {
 	fmt.Println("   (speedup vs TPU)")
 
 	for _, net := range supernpu.Workloads() {
-		ref, err := supernpu.Evaluate(designs[0], net, 0)
+		ref, err := supernpu.Evaluate(ctx, designs[0], net, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-12s", net.Name)
 		for _, d := range designs {
-			ev, err := supernpu.Evaluate(d, net, 0)
+			ev, err := supernpu.Evaluate(ctx, d, net, 0)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -37,12 +39,12 @@ func main() {
 
 	// Table III: power efficiency of SuperNPU under both SFQ technologies.
 	net, _ := supernpu.WorkloadByName("ResNet50")
-	tpu, _ := supernpu.Evaluate(supernpu.TPU(), net, 0)
-	rsfq, err := supernpu.Evaluate(supernpu.SuperNPU(), net, 0)
+	tpu, _ := supernpu.Evaluate(ctx, supernpu.TPU(), net, 0)
+	rsfq, err := supernpu.Evaluate(ctx, supernpu.SuperNPU(), net, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ersfq, err := supernpu.Evaluate(supernpu.ERSFQ(supernpu.SuperNPU()), net, 0)
+	ersfq, err := supernpu.Evaluate(ctx, supernpu.ERSFQ(supernpu.SuperNPU()), net, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package supernpu
 // sfq.Inventory.sortedKinds) and parallel sweeps join results by index.
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -50,9 +51,9 @@ func TestGoldenExhibits(t *testing.T) {
 	for _, id := range ExperimentIDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			out, err := RunExperiment(id)
+			out, err := RunExperiment(context.Background(), id)
 			if err != nil {
-				t.Fatalf("RunExperiment(%s): %v", id, err)
+				t.Fatalf("RunExperiment(context.Background(), %s): %v", id, err)
 			}
 			checkGolden(t, id, out)
 		})
@@ -64,9 +65,9 @@ func TestGoldenAblations(t *testing.T) {
 	for _, id := range AblationIDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			out, err := RunExperiment(id)
+			out, err := RunExperiment(context.Background(), id)
 			if err != nil {
-				t.Fatalf("RunExperiment(%s): %v", id, err)
+				t.Fatalf("RunExperiment(context.Background(), %s): %v", id, err)
 			}
 			checkGolden(t, id, out)
 		})
@@ -76,7 +77,7 @@ func TestGoldenAblations(t *testing.T) {
 // TestGoldenFullReport locks the concatenated supernpu-repro report: the
 // exhibits must also join in paper order with the exact separator bytes.
 func TestGoldenFullReport(t *testing.T) {
-	out, err := RunAllExperiments()
+	out, err := RunAllExperiments(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,7 @@ import (
 // move the weights once plus every layer's input and output activations per
 // image. It is deterministic (the estimator memoises by configuration
 // fingerprint), so repeated degraded responses are byte-identical.
-func EvaluateAnalytical(d Design, net workload.Network, batch int) (*Evaluation, error) {
+func EvaluateAnalytical(ctx context.Context, d Design, net workload.Network, batch int) (*Evaluation, error) {
 	if d.Platform != SFQ {
 		return nil, fmt.Errorf("core: no analytical fallback for %q (SFQ designs only)", d.Name())
 	}
@@ -29,7 +30,7 @@ func EvaluateAnalytical(d Design, net workload.Network, batch int) (*Evaluation,
 	if batch <= 0 {
 		batch = d.MaxBatch(net)
 	}
-	est, err := estimator.Estimate(d.SFQ)
+	est, err := estimator.Estimate(ctx, d.SFQ)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"supernpu/internal/checkpoint"
+	"supernpu/internal/guard"
+	"supernpu/internal/simcache"
+)
+
+// drainDegrees is a division sweep wide enough that, with cold caches, a
+// mid-run cancellation lands while points are still being computed.
+var drainDegrees = []int{2, 3, 4, 5, 6, 7, 8, 12, 16, 24, 32, 48, 64}
+
+// countIntactLines parses the checkpoint JSONL and fails the test on any
+// torn or malformed record: a canceled run must leave a consistent prefix,
+// never a half-written line (the final line is the only one a kill may
+// tear, and cancellation is not a kill — Put completes or never starts).
+func countIntactLines(t *testing.T, path string) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	n := 0
+	for sc.Scan() {
+		var rec struct {
+			Key   string          `json:"key"`
+			Value json.RawMessage `json:"value"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Key == "" {
+			t.Fatalf("checkpoint line %d is torn or malformed after cancellation: %q (%v)", n+1, sc.Text(), err)
+		}
+		n++
+	}
+	return n
+}
+
+// TestExploreCancelResumeByteIdentical cancels a checkpointed division
+// sweep mid-run, asserts the checkpoint holds a consistent prefix of
+// completed points, then resumes from it and requires the resumed result to
+// be byte-identical to an uninterrupted run of the same sweep.
+func TestExploreCancelResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold full-width division sweep")
+	}
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "sweep.ck")
+
+	// Cold caches so the canceled attempt does real work instead of
+	// replaying memoised results instantaneously.
+	simcache.ClearAll()
+	ck, err := checkpoint.Open(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Pull the plug once at least one point has been checkpointed (or
+		// give up watching after the deadline; a fast machine may finish
+		// the whole sweep first, which the test tolerates below).
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if st, err := os.Stat(ckPath); err == nil && st.Size() > 0 {
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, sweepErr := ExploreDivisionOpts(ctx, drainDegrees, SweepOptions{Checkpoint: ck})
+	cancel()
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sweepErr != nil && !errors.Is(sweepErr, guard.ErrCanceled) {
+		t.Fatalf("canceled sweep failed outside the taxonomy: %v", sweepErr)
+	}
+
+	// The interrupted checkpoint is a consistent prefix: every line parses,
+	// and there are no more lines than sweep points.
+	lines := countIntactLines(t, ckPath)
+	if sweepErr != nil && lines >= len(drainDegrees)+2 {
+		t.Fatalf("canceled sweep checkpointed all %d points", lines)
+	}
+	t.Logf("canceled after %d of %d checkpointed points (err=%v)", lines, len(drainDegrees)+2, sweepErr)
+
+	// Resume from the prefix. The simulators are memoised, but the resumed
+	// points must come out identical regardless of whether they were
+	// replayed from the checkpoint or recomputed.
+	ck2, err := checkpoint.Open(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ExploreDivisionOpts(context.Background(), drainDegrees, SweepOptions{Checkpoint: ck2})
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if err := ck2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if countIntactLines(t, ckPath) != len(drainDegrees)+2 {
+		t.Fatalf("resumed checkpoint incomplete: %d lines, want %d", countIntactLines(t, ckPath), len(drainDegrees)+2)
+	}
+
+	// Reference: the same sweep, uninterrupted, with no checkpoint at all.
+	reference, err := ExploreDivisionOpts(context.Background(), drainDegrees, SweepOptions{})
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+	refJSON, err := json.Marshal(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resJSON, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(refJSON) != string(resJSON) {
+		t.Fatalf("resumed sweep diverges from uninterrupted run:\nresumed   %s\nreference %s", resJSON, refJSON)
+	}
+	if !reflect.DeepEqual(reference, resumed) {
+		t.Fatal("resumed sweep points differ structurally from the uninterrupted run")
+	}
+}

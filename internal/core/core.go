@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -143,19 +144,20 @@ type Evaluation struct {
 }
 
 // Evaluate runs the workload at the given batch (0 = the design's max
-// batch) and returns the unified result.
-func Evaluate(d Design, net workload.Network, batch int) (*Evaluation, error) {
-	return EvaluateFaulted(d, net, batch, nil)
+// batch) and returns the unified result. Cancellation of ctx aborts the
+// underlying simulation with an error matching guard.ErrCanceled.
+func Evaluate(ctx context.Context, d Design, net workload.Network, batch int) (*Evaluation, error) {
+	return EvaluateFaulted(ctx, d, net, batch, nil)
 }
 
 // EvaluateFaulted is Evaluate under a fault model. Faults are an SFQ
 // phenomenon — junction spread, thermal pulse drops, bias-margin erosion —
 // so CMOS designs evaluate nominally regardless of the model. A disabled
 // (or nil) model is the exact nominal path.
-func EvaluateFaulted(d Design, net workload.Network, batch int, fm *faultinject.Model) (*Evaluation, error) {
+func EvaluateFaulted(ctx context.Context, d Design, net workload.Network, batch int, fm *faultinject.Model) (*Evaluation, error) {
 	switch d.Platform {
 	case SFQ:
-		r, err := npusim.SimulateFaulted(d.SFQ, net, batch, fm)
+		r, err := npusim.SimulateFaulted(ctx, d.SFQ, net, batch, fm)
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +172,7 @@ func EvaluateFaulted(d Design, net workload.Network, batch int, fm *faultinject.
 			SFQReport:    r,
 		}, nil
 	case CMOS:
-		r, err := scalesim.Simulate(d.CMOS, net, batch)
+		r, err := scalesim.Simulate(ctx, d.CMOS, net, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -198,12 +200,12 @@ func (d Design) MaxBatch(net workload.Network) int {
 
 // Speedup evaluates a design against the TPU reference on one workload and
 // returns effective-throughput ratio (Fig. 23's y-axis).
-func Speedup(d Design, net workload.Network) (float64, error) {
-	ref, err := Evaluate(CMOSDesign(scalesim.TPU()), net, 0)
+func Speedup(ctx context.Context, d Design, net workload.Network) (float64, error) {
+	ref, err := Evaluate(ctx, CMOSDesign(scalesim.TPU()), net, 0)
 	if err != nil {
 		return 0, err
 	}
-	ev, err := Evaluate(d, net, 0)
+	ev, err := Evaluate(ctx, d, net, 0)
 	if err != nil {
 		return 0, err
 	}

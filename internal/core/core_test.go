@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestDesignPointsOrder(t *testing.T) {
 func TestEvaluateBothPlatforms(t *testing.T) {
 	net := workload.ResNet50()
 	for _, d := range DesignPoints() {
-		ev, err := Evaluate(d, net, 0)
+		ev, err := Evaluate(context.Background(), d, net, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", d.Name(), err)
 		}
@@ -46,7 +47,7 @@ func TestEvaluateBothPlatforms(t *testing.T) {
 }
 
 func TestEvaluateUnknownPlatform(t *testing.T) {
-	if _, err := Evaluate(Design{Platform: Platform(9)}, workload.VGG16(), 1); err == nil {
+	if _, err := Evaluate(context.Background(), Design{Platform: Platform(9)}, workload.VGG16(), 1); err == nil {
 		t.Fatal("unknown platform must error")
 	}
 }
@@ -56,11 +57,11 @@ func TestEvaluateUnknownPlatform(t *testing.T) {
 func TestHeadlineSpeedups(t *testing.T) {
 	var gmBase, gmSuper float64 = 1, 1
 	for _, net := range workload.All() {
-		sBase, err := Speedup(SFQDesign(arch.Baseline()), net)
+		sBase, err := Speedup(context.Background(), SFQDesign(arch.Baseline()), net)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sSuper, err := Speedup(SFQDesign(arch.SuperNPU()), net)
+		sSuper, err := Speedup(context.Background(), SFQDesign(arch.SuperNPU()), net)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func TestOptimisationLadder(t *testing.T) {
 	net := workload.ResNet50()
 	var prev float64
 	for i, cfg := range arch.Designs() {
-		s, err := Speedup(SFQDesign(cfg), net)
+		s, err := Speedup(context.Background(), SFQDesign(cfg), net)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func TestMaxBatchDispatch(t *testing.T) {
 func TestEfficiencyBridge(t *testing.T) {
 	cfg := arch.SuperNPU()
 	cfg.Tech = sfq.ERSFQ
-	ev, err := Evaluate(SFQDesign(cfg), workload.ResNet50(), 0)
+	ev, err := Evaluate(context.Background(), SFQDesign(cfg), workload.ResNet50(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

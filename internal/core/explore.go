@@ -73,8 +73,8 @@ type SweepPoint struct {
 // the normalisation reference of Figs. 20–22, under the sweep's fault model.
 func baselineThroughputs(ctx context.Context, fm *faultinject.Model) (map[string]float64, error) {
 	nets := workload.All()
-	tputs, err := parallel.MapContext(ctx, len(nets), func(_ context.Context, i int) (float64, error) {
-		r, err := npusim.SimulateFaulted(arch.Baseline(), nets[i], 1, fm)
+	tputs, err := parallel.MapContext(ctx, len(nets), func(ctx context.Context, i int) (float64, error) {
+		r, err := npusim.SimulateFaulted(ctx, arch.Baseline(), nets[i], 1, fm)
 		if err != nil {
 			return 0, err
 		}
@@ -96,12 +96,12 @@ func baselineThroughputs(ctx context.Context, fm *faultinject.Model) (map[string
 func sweep(ctx context.Context, cfg arch.Config, base map[string]float64, baseArea float64, fm *faultinject.Model) (SweepPoint, error) {
 	nets := workload.All()
 	type speedups struct{ s1, sm float64 }
-	vals, err := parallel.MapContext(ctx, len(nets), func(_ context.Context, i int) (speedups, error) {
-		r1, err := npusim.SimulateFaulted(cfg, nets[i], 1, fm)
+	vals, err := parallel.MapContext(ctx, len(nets), func(ctx context.Context, i int) (speedups, error) {
+		r1, err := npusim.SimulateFaulted(ctx, cfg, nets[i], 1, fm)
 		if err != nil {
 			return speedups{}, err
 		}
-		rm, err := npusim.SimulateFaulted(cfg, nets[i], 0, fm)
+		rm, err := npusim.SimulateFaulted(ctx, cfg, nets[i], 0, fm)
 		if err != nil {
 			return speedups{}, err
 		}
@@ -116,7 +116,7 @@ func sweep(ctx context.Context, cfg arch.Config, base map[string]float64, baseAr
 		s1 = append(s1, v.s1)
 		sm = append(sm, v.sm)
 	}
-	est, err := estimator.EstimateFaulted(cfg, fm)
+	est, err := estimator.EstimateFaulted(ctx, cfg, fm)
 	if err != nil {
 		return SweepPoint{}, err
 	}
@@ -153,7 +153,7 @@ func sweepAllOpts(ctx context.Context, cfgs []arch.Config, o SweepOptions) ([]Sw
 	if err != nil {
 		return nil, err
 	}
-	bArea, err := baselineArea(o.Fault)
+	bArea, err := baselineArea(ctx, o.Fault)
 	if err != nil {
 		return nil, err
 	}
@@ -174,8 +174,8 @@ func sweepAllOpts(ctx context.Context, cfgs []arch.Config, o SweepOptions) ([]Sw
 	return out, nil
 }
 
-func baselineArea(fm *faultinject.Model) (float64, error) {
-	est, err := estimator.EstimateFaulted(arch.Baseline(), fm)
+func baselineArea(ctx context.Context, fm *faultinject.Model) (float64, error) {
+	est, err := estimator.EstimateFaulted(ctx, arch.Baseline(), fm)
 	if err != nil {
 		return 0, err
 	}

@@ -6,6 +6,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,6 +14,7 @@ import (
 	"supernpu/internal/clocking"
 	"supernpu/internal/dau"
 	"supernpu/internal/faultinject"
+	"supernpu/internal/guard"
 	"supernpu/internal/netunit"
 	"supernpu/internal/obs"
 	"supernpu/internal/pe"
@@ -178,15 +180,17 @@ func estimateNetwork(cfg arch.Config, lib *sfq.Library) UnitEstimate {
 
 // Estimate runs the full three-layer estimation for an NPU configuration.
 // Results are memoised by configuration; repeated calls return one shared
-// *Result, which callers must treat as read-only.
-func Estimate(cfg arch.Config) (*Result, error) {
+// *Result, which callers must treat as read-only. A context that is
+// already canceled aborts before any unit is estimated; a canceled
+// computation is evicted from the cache rather than memoised.
+func Estimate(ctx context.Context, cfg arch.Config) (*Result, error) {
 	mEstimates.Inc()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return cache.GetOrCompute(simcache.ConfigKey(cfg), func() (*Result, error) {
 		defer obs.Time(mColdSeconds)()
-		return estimate(cfg)
+		return estimate(ctx, cfg)
 	})
 }
 
@@ -196,9 +200,9 @@ func Estimate(cfg arch.Config) (*Result, error) {
 // and energy exactly as a nominal shift would. Results are memoised by
 // (configuration, fault key); a disabled model shares Estimate's cache
 // entries.
-func EstimateFaulted(cfg arch.Config, fm *faultinject.Model) (*Result, error) {
+func EstimateFaulted(ctx context.Context, cfg arch.Config, fm *faultinject.Model) (*Result, error) {
 	if !fm.Enabled() {
-		return Estimate(cfg)
+		return Estimate(ctx, cfg)
 	}
 	mEstimates.Inc()
 	if err := cfg.Validate(); err != nil {
@@ -206,18 +210,22 @@ func EstimateFaulted(cfg arch.Config, fm *faultinject.Model) (*Result, error) {
 	}
 	return cache.GetOrCompute(simcache.ConfigKey(cfg)+fm.Key(), func() (*Result, error) {
 		defer obs.Time(mColdSeconds)()
-		return estimateWithLib(cfg, sfq.NewLibraryFaulted(sfq.AIST10(), cfg.Tech, fm))
+		return estimateWithLib(ctx, cfg, sfq.NewLibraryFaulted(sfq.AIST10(), cfg.Tech, fm))
 	})
 }
 
 // estimate is the uncached three-layer estimation at the nominal library.
-func estimate(cfg arch.Config) (*Result, error) {
-	return estimateWithLib(cfg, sfq.NewLibrary(sfq.AIST10(), cfg.Tech))
+func estimate(ctx context.Context, cfg arch.Config) (*Result, error) {
+	return estimateWithLib(ctx, cfg, sfq.NewLibrary(sfq.AIST10(), cfg.Tech))
 }
 
 // estimateWithLib runs the three-layer estimation against an explicit cell
-// library (nominal or fault-perturbed).
-func estimateWithLib(cfg arch.Config, lib *sfq.Library) (*Result, error) {
+// library (nominal or fault-perturbed). The estimation itself is a short
+// closed-form derivation, so the only cancellation point is at entry.
+func estimateWithLib(ctx context.Context, cfg arch.Config, lib *sfq.Library) (*Result, error) {
+	if err := guard.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	units := []UnitEstimate{
 		estimatePEArray(cfg, lib),
 		estimateDAU(cfg, lib),
@@ -247,6 +255,13 @@ func estimateWithLib(cfg arch.Config, lib *sfq.Library) (*Result, error) {
 	}
 	res.Area28nm = res.AreaNative * sfq.AIST10().ScaleAreaTo(28e-9)
 	res.PeakMACs = float64(cfg.PEs()) * res.Frequency
+	// Frequency starts at +Inf and only unit estimates pull it down; if no
+	// unit produced a positive frequency the headline numbers are not
+	// finite and the result must fail typed, not leak infinities.
+	if math.IsInf(res.Frequency, 0) || math.IsNaN(res.Frequency) {
+		return nil, fmt.Errorf("estimator: %s produced a non-finite frequency: %w",
+			cfg.Name, guard.ErrNonFinite)
+	}
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func estimateOrDie(t *testing.T, cfg arch.Config) *Result {
 	t.Helper()
-	r, err := Estimate(cfg)
+	r, err := Estimate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,12 +103,12 @@ func TestBuffersDominateStaticPower(t *testing.T) {
 func TestEstimateRejectsInvalidConfig(t *testing.T) {
 	bad := arch.Baseline()
 	bad.ArrayWidth = 0
-	if _, err := Estimate(bad); err == nil {
+	if _, err := Estimate(context.Background(), bad); err == nil {
 		t.Fatal("Estimate must reject invalid configurations")
 	}
 	bad2 := arch.Baseline()
 	bad2.PsumBufBytes = 0 // non-integrated design without psum buffer
-	if _, err := Estimate(bad2); err == nil {
+	if _, err := Estimate(context.Background(), bad2); err == nil {
 		t.Fatal("Estimate must reject a non-integrated design without psum buffer")
 	}
 }

@@ -7,6 +7,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -55,9 +56,9 @@ func TestPropertyEstimatePositive(t *testing.T) {
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("generator produced invalid config: %v", err)
 		}
-		res, err := Estimate(cfg)
+		res, err := Estimate(context.Background(), cfg)
 		if err != nil {
-			t.Fatalf("Estimate(%+v): %v", cfg, err)
+			t.Fatalf("Estimate(context.Background(), %+v): %v", cfg, err)
 		}
 		if res.Frequency <= 0 {
 			t.Fatalf("trial %d: frequency %v not strictly positive (%+v)", i, res.Frequency, cfg)
@@ -103,9 +104,9 @@ func TestPropertyAreaPowerMonotone(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < propTrials; i++ {
 		cfg := randomValidConfig(rng)
-		base, err := Estimate(cfg)
+		base, err := Estimate(context.Background(), cfg)
 		if err != nil {
-			t.Fatalf("Estimate(base): %v", err)
+			t.Fatalf("Estimate(context.Background(), base): %v", err)
 		}
 		axis := growAxes[rng.Intn(len(growAxes))]
 		bigger := axis.apply(cfg)
@@ -113,9 +114,9 @@ func TestPropertyAreaPowerMonotone(t *testing.T) {
 		if err := bigger.Validate(); err != nil {
 			t.Fatalf("grown config invalid along %s: %v", axis.name, err)
 		}
-		grown, err := Estimate(bigger)
+		grown, err := Estimate(context.Background(), bigger)
 		if err != nil {
-			t.Fatalf("Estimate(grown %s): %v", axis.name, err)
+			t.Fatalf("Estimate(context.Background(), grown %s): %v", axis.name, err)
 		}
 		if grown.AreaNative < base.AreaNative {
 			t.Fatalf("trial %d: area shrank growing %s: %v -> %v (%+v)",
@@ -142,7 +143,7 @@ func TestPropertyPeakMACsScale(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < propTrials; i++ {
 		cfg := randomValidConfig(rng)
-		res, err := Estimate(cfg)
+		res, err := Estimate(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"supernpu/internal/arch"
@@ -25,28 +26,28 @@ func AblationIDs() []string {
 }
 
 // runAblation dispatches ablation ids (used by Run).
-func runAblation(id string) (string, bool, error) {
+func runAblation(ctx context.Context, id string) (string, bool, error) {
 	switch id {
 	case "ablation-dataflow":
-		out, err := AblationDataflow()
+		out, err := AblationDataflow(ctx)
 		return out, true, err
 	case "ablation-skew":
-		out, err := AblationClockSkewing()
+		out, err := AblationClockSkewing(ctx)
 		return out, true, err
 	case "ablation-dau":
-		out, err := AblationNoDAU()
+		out, err := AblationNoDAU(ctx)
 		return out, true, err
 	case "ablation-bandwidth":
-		out, err := AblationBandwidth()
+		out, err := AblationBandwidth(ctx)
 		return out, true, err
 	case "ablation-scaling":
-		out, err := AblationScaling()
+		out, err := AblationScaling(ctx)
 		return out, true, err
 	case "ablation-batch":
-		out, err := AblationBatch()
+		out, err := AblationBatch(ctx)
 		return out, true, err
 	case "ablation-memsys":
-		out, err := AblationMemsys()
+		out, err := AblationMemsys(ctx)
 		return out, true, err
 	default:
 		return "", false, nil
@@ -56,7 +57,7 @@ func runAblation(id string) (string, bool, error) {
 // AblationDataflow quantifies the weight-stationary choice (Section III-B):
 // the output-stationary PE's accumulator feedback forces counter-flow
 // clocking and costs the whole NPU its clock.
-func AblationDataflow() (string, error) {
+func AblationDataflow(ctx context.Context) (string, error) {
 	lib := sfq.NewLibrary(sfq.AIST10(), sfq.RSFQ)
 	t := report.NewTable("Ablation: PE dataflow (Section III-B design choice)",
 		"dataflow", "feedback loop", "clocking", "PE clock (GHz)", "SuperNPU peak (TMAC/s)")
@@ -78,7 +79,7 @@ func AblationDataflow() (string, error) {
 // AblationClockSkewing quantifies the clock-skewing frequency-enhancing
 // technique (Section IV-A2): without skew tuning the clock pulse must wait
 // out the full data propagation of every pair.
-func AblationClockSkewing() (string, error) {
+func AblationClockSkewing(ctx context.Context) (string, error) {
 	lib := sfq.NewLibrary(sfq.AIST10(), sfq.RSFQ)
 	skewed := pe.Default8Bit(1).CriticalPairs(lib)
 	// The unskewed variant exposes each pair's full data path against a
@@ -105,13 +106,13 @@ func AblationClockSkewing() (string, error) {
 // AblationNoDAU quantifies the data alignment unit: without it, every ifmap
 // buffer row stores all pixels its PE row needs, so duplicated pixels
 // (Fig. 8) consume the buffer and collapse the batch.
-func AblationNoDAU() (string, error) {
+func AblationNoDAU(ctx context.Context) (string, error) {
 	t := report.NewTable("Ablation: removing the data alignment unit",
 		"workload", "duplicated pixels %", "batch w/ DAU", "batch w/o DAU", "throughput w/o DAU (rel.)")
 	for _, net := range workload.All() {
 		dup := net.DuplicatedPixelRatio()
 		cfg := arch.SuperNPU()
-		withDAU, err := npusim.Simulate(cfg, net, 0)
+		withDAU, err := npusim.Simulate(ctx, cfg, net, 0)
 		if err != nil {
 			return "", err
 		}
@@ -120,7 +121,7 @@ func AblationNoDAU() (string, error) {
 		naive := cfg
 		naive.Name = "SuperNPU w/o DAU"
 		naive.IfmapBufBytes = int(float64(cfg.IfmapBufBytes) * (1 - dup))
-		withoutDAU, err := npusim.Simulate(naive, net, 0)
+		withoutDAU, err := npusim.Simulate(ctx, naive, net, 0)
 		if err != nil {
 			return "", err
 		}
@@ -136,7 +137,7 @@ func AblationNoDAU() (string, error) {
 
 // AblationBandwidth sweeps the off-chip bandwidth around the paper's
 // 300 GB/s HBM assumption, exposing where SuperNPU turns memory-bound.
-func AblationBandwidth() (string, error) {
+func AblationBandwidth(ctx context.Context) (string, error) {
 	t := report.NewTable("Ablation: off-chip memory bandwidth (SuperNPU)",
 		"bandwidth (GB/s)", "avg effective (TMAC/s)", "avg PE utilization %")
 	for _, gb := range []float64{75, 150, 300, 600, 1200} {
@@ -144,7 +145,7 @@ func AblationBandwidth() (string, error) {
 		cfg.MemoryBandwidth = gb * 1e9
 		var tput, util float64
 		for _, net := range workload.All() {
-			r, err := npusim.Simulate(cfg, net, 0)
+			r, err := npusim.Simulate(ctx, cfg, net, 0)
 			if err != nil {
 				return "", err
 			}
@@ -159,7 +160,7 @@ func AblationBandwidth() (string, error) {
 
 // AblationScaling projects the SuperNPU clock under the JJ feature-size
 // scaling rule of the paper's footnote 2 (linear down to ~200 nm).
-func AblationScaling() (string, error) {
+func AblationScaling(ctx context.Context) (string, error) {
 	t := report.NewTable("Ablation: JJ feature-size scaling (paper footnote 2)",
 		"process", "PE clock (GHz)", "SuperNPU peak (TMAC/s)")
 	for _, f := range []float64{1.0, 0.5, 0.25, 0.2} {
@@ -176,16 +177,16 @@ func AblationScaling() (string, error) {
 
 // AblationBatch shows the computational-intensity mechanism: SuperNPU's
 // throughput vs batch size on ResNet-50.
-func AblationBatch() (string, error) {
+func AblationBatch(ctx context.Context) (string, error) {
 	net := workload.ResNet50()
-	tpu, err := core.Evaluate(core.DesignPoints()[0], net, 0)
+	tpu, err := core.Evaluate(ctx, core.DesignPoints()[0], net, 0)
 	if err != nil {
 		return "", err
 	}
 	t := report.NewTable("Ablation: batch size vs throughput (SuperNPU, ResNet-50)",
 		"batch", "effective (TMAC/s)", "speedup vs TPU")
 	for _, b := range []int{1, 2, 4, 8, 16, 30} {
-		r, err := npusim.Simulate(arch.SuperNPU(), net, b)
+		r, err := npusim.Simulate(ctx, arch.SuperNPU(), net, b)
 		if err != nil {
 			return "", err
 		}
@@ -201,7 +202,7 @@ func AblationBatch() (string, error) {
 // simulators use: with HBM2's request overhead and burst granularity, the
 // NPU's megabyte-scale layer transfers achieve near-peak bandwidth, while
 // fine-grained access (the regime shift-register buffers avoid) would not.
-func AblationMemsys() (string, error) {
+func AblationMemsys(ctx context.Context) (string, error) {
 	m := memsys.HBM2()
 	t := report.NewTable("Ablation: off-chip transfer granularity (HBM2 model)",
 		"transfer size", "effective bandwidth (GB/s)", "efficiency %")

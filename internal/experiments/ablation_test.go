@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ func TestAblationIDsDispatch(t *testing.T) {
 		t.Fatalf("got %d ablations, want 7", len(AblationIDs()))
 	}
 	for _, id := range AblationIDs() {
-		out, err := Run(id)
+		out, err := Run(context.Background(), id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -22,7 +23,7 @@ func TestAblationIDsDispatch(t *testing.T) {
 
 // The dataflow ablation must show the ~2× counter-flow penalty.
 func TestAblationDataflowShowsFeedbackPenalty(t *testing.T) {
-	out, err := AblationDataflow()
+	out, err := AblationDataflow(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestAblationDataflowShowsFeedbackPenalty(t *testing.T) {
 
 // The DAU ablation must show batch collapse for the duplication-heavy nets.
 func TestAblationNoDAUCollapsesBatch(t *testing.T) {
-	out, err := AblationNoDAU()
+	out, err := AblationNoDAU(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestAblationNoDAUCollapsesBatch(t *testing.T) {
 
 // The skew ablation must report a slowdown without skew tuning.
 func TestAblationSkewSlowdown(t *testing.T) {
-	out, err := AblationClockSkewing()
+	out, err := AblationClockSkewing(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestAblationSkewSlowdown(t *testing.T) {
 
 // Scaling must show the linear frequency growth and the 200 nm clamp.
 func TestAblationScalingRows(t *testing.T) {
-	out, err := AblationScaling()
+	out, err := AblationScaling(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestRunAllDeterministic(t *testing.T) {
 
 	parallel.SetWorkers(1)
 	simcache.ClearAll()
-	serial, err := RunAll()
+	serial, err := RunAll(context.Background())
 	if err != nil {
 		t.Fatalf("serial RunAll: %v", err)
 	}
@@ -31,7 +32,7 @@ func TestRunAllDeterministic(t *testing.T) {
 	// paths genuinely interleave (and the race detector sees them).
 	parallel.SetWorkers(max(4, runtime.NumCPU()))
 	simcache.ClearAll()
-	cold, err := RunAll()
+	cold, err := RunAll(context.Background())
 	if err != nil {
 		t.Fatalf("parallel RunAll (cold): %v", err)
 	}
@@ -40,7 +41,7 @@ func TestRunAllDeterministic(t *testing.T) {
 			len(serial), len(cold))
 	}
 
-	warm, err := RunAll()
+	warm, err := RunAll(context.Background())
 	if err != nil {
 		t.Fatalf("parallel RunAll (warm): %v", err)
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -40,45 +41,45 @@ func IDs() []string {
 // timed into the supernpu_exhibit_seconds histogram (labelled by exhibit
 // id) and wrapped in an "exhibit" tracing span; both are pure telemetry
 // and never influence the rendered bytes.
-func Run(id string) (string, error) {
+func Run(ctx context.Context, id string) (string, error) {
 	defer obs.Time(obs.Default.Histogram("supernpu_exhibit_seconds",
 		"wall time to regenerate one exhibit", obs.DurationEdges, obs.L("exhibit", id)))()
 	sp := obs.StartSpan("exhibit", obs.L("id", id))
 	defer sp.End()
-	return run(id)
+	return run(ctx, id)
 }
 
 // run dispatches an exhibit id to its generator.
-func run(id string) (string, error) {
+func run(ctx context.Context, id string) (string, error) {
 	switch id {
 	case "fig5":
-		return Fig5()
+		return Fig5(ctx)
 	case "fig7":
-		return Fig7()
+		return Fig7(ctx)
 	case "fig8":
-		return Fig8()
+		return Fig8(ctx)
 	case "fig13":
-		return Fig13()
+		return Fig13(ctx)
 	case "fig15":
-		return Fig15()
+		return Fig15(ctx)
 	case "fig17":
-		return Fig17()
+		return Fig17(ctx)
 	case "fig20":
-		return Fig20()
+		return Fig20(ctx)
 	case "fig21":
-		return Fig21()
+		return Fig21(ctx)
 	case "fig22":
-		return Fig22()
+		return Fig22(ctx)
 	case "fig23":
-		return Fig23()
+		return Fig23(ctx)
 	case "table1":
-		return Table1()
+		return Table1(ctx)
 	case "table2":
-		return Table2()
+		return Table2(ctx)
 	case "table3":
-		return Table3()
+		return Table3(ctx)
 	default:
-		if out, ok, err := runAblation(id); ok {
+		if out, ok, err := runAblation(ctx, id); ok {
 			return out, err
 		}
 		return "", fmt.Errorf("experiments: unknown exhibit %q (have %s and ablations %s)",
@@ -89,12 +90,12 @@ func run(id string) (string, error) {
 // RunAll regenerates every exhibit. Exhibits render concurrently (bounded
 // by parallel.Workers()) and join in paper order, so the output is
 // byte-identical to a serial run.
-func RunAll() (string, error) {
+func RunAll(ctx context.Context) (string, error) {
 	sp := obs.StartSpan("report")
 	defer sp.End()
 	ids := IDs()
-	outs, err := parallel.Map(len(ids), func(i int) (string, error) {
-		out, err := Run(ids[i])
+	outs, err := parallel.MapContext(ctx, len(ids), func(ctx context.Context, i int) (string, error) {
+		out, err := Run(ctx, ids[i])
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", ids[i], err)
 		}
@@ -113,7 +114,7 @@ func RunAll() (string, error) {
 
 // Fig5 compares the three on-chip network designs' critical-path delay and
 // area over PE-array widths (Fig. 5).
-func Fig5() (string, error) {
+func Fig5(ctx context.Context) (string, error) {
 	lib := sfq.NewLibrary(sfq.AIST10(), sfq.RSFQ)
 	t := report.NewTable("Fig. 5: network-unit critical-path delay (ps) and area (mm^2)",
 		"PE array width", "2D tree delay", "1D tree delay", "systolic delay",
@@ -136,7 +137,7 @@ func Fig5() (string, error) {
 // Fig7 reports the feedback-loop frequency penalty for the full adder and
 // shift register under both clocking schemes (Fig. 7(c)), plus the RCSJ
 // circuit-level extraction that anchors the gate level.
-func Fig7() (string, error) {
+func Fig7(ctx context.Context) (string, error) {
 	lib := sfq.NewLibrary(sfq.AIST10(), sfq.RSFQ)
 	t := report.NewTable("Fig. 7(c): feedback-loop impact on clock frequency (GHz)",
 		"circuit", "without feedback (concurrent-flow)", "with feedback (counter-flow)")
@@ -152,7 +153,7 @@ func Fig7() (string, error) {
 	}
 	t.AddNote("paper: FA 66 -> 30 GHz, SR 133 -> 71 GHz")
 
-	params, err := jsim.ExtractJTLParams()
+	params, err := jsim.ExtractJTLParams(ctx)
 	if err != nil {
 		return "", err
 	}
@@ -163,7 +164,7 @@ func Fig7() (string, error) {
 
 // Fig8 reports the duplicated-ifmap-pixel ratio for the naive buffering
 // scheme (Fig. 8).
-func Fig8() (string, error) {
+func Fig8(ctx context.Context) (string, error) {
 	s := report.NewSeries("Fig. 8: duplicated ifmap pixels under naive row buffering", "% duplicated")
 	for _, name := range []string{"AlexNet", "ResNet50", "VGG16"} {
 		net, err := workload.ByName(name)
@@ -177,7 +178,7 @@ func Fig8() (string, error) {
 
 // Fig13 reports the estimator validation against the die/post-layout
 // references (Fig. 13).
-func Fig13() (string, error) {
+func Fig13(ctx context.Context) (string, error) {
 	rep := estimator.Validate()
 	t := report.NewTable("Fig. 13: model validation vs die/post-layout references",
 		"subject", "metric", "reference", "model", "error %")
@@ -199,11 +200,11 @@ func Fig13() (string, error) {
 
 // Fig15 reports the Baseline's preparation-vs-computation cycle breakdown
 // per workload (Fig. 15).
-func Fig15() (string, error) {
+func Fig15(ctx context.Context) (string, error) {
 	t := report.NewTable("Fig. 15: Baseline cycle breakdown (batch 1)",
 		"workload", "preparation %", "computation %")
 	for _, net := range workload.All() {
-		r, err := npusim.Simulate(arch.Baseline(), net, 1)
+		r, err := npusim.Simulate(ctx, arch.Baseline(), net, 1)
 		if err != nil {
 			return "", err
 		}
@@ -217,8 +218,8 @@ func Fig15() (string, error) {
 
 // Fig17 reports the roofline analysis of the Baseline at a single batch
 // (Fig. 17).
-func Fig17() (string, error) {
-	est, err := estimator.Estimate(arch.Baseline())
+func Fig17(ctx context.Context) (string, error) {
+	est, err := estimator.Estimate(ctx, arch.Baseline())
 	if err != nil {
 		return "", err
 	}
@@ -228,7 +229,7 @@ func Fig17() (string, error) {
 	var sumEff float64
 	for _, net := range workload.All() {
 		i := roofline.Intensity(net, 1)
-		r, err := npusim.Simulate(arch.Baseline(), net, 1)
+		r, err := npusim.Simulate(ctx, arch.Baseline(), net, 1)
 		if err != nil {
 			return "", err
 		}
@@ -244,8 +245,8 @@ func Fig17() (string, error) {
 }
 
 // Fig20 reports the buffer integration/division sweep (Fig. 20).
-func Fig20() (string, error) {
-	points, err := core.ExploreDivision([]int{4, 16, 64, 256, 1024, 4096})
+func Fig20(ctx context.Context) (string, error) {
+	points, err := core.ExploreDivisionOpts(ctx, []int{4, 16, 64, 256, 1024, 4096}, core.SweepOptions{})
 	if err != nil {
 		return "", err
 	}
@@ -259,8 +260,8 @@ func Fig20() (string, error) {
 }
 
 // Fig21 reports the resource-balancing sweep (Fig. 21).
-func Fig21() (string, error) {
-	points, err := core.ExploreWidth(core.Fig21Points())
+func Fig21(ctx context.Context) (string, error) {
+	points, err := core.ExploreWidthOpts(ctx, core.Fig21Points(), core.SweepOptions{})
 	if err != nil {
 		return "", err
 	}
@@ -275,13 +276,13 @@ func Fig21() (string, error) {
 
 // Fig22 reports the registers-per-PE sweep on the 64- and 128-wide designs
 // (Fig. 22).
-func Fig22() (string, error) {
+func Fig22(ctx context.Context) (string, error) {
 	regs := []int{1, 2, 4, 8, 16, 32}
-	w64, err := core.ExploreRegisters(64, regs)
+	w64, err := core.ExploreRegistersOpts(ctx, 64, regs, core.SweepOptions{})
 	if err != nil {
 		return "", err
 	}
-	w128, err := core.ExploreRegisters(128, regs)
+	w128, err := core.ExploreRegistersOpts(ctx, 128, regs, core.SweepOptions{})
 	if err != nil {
 		return "", err
 	}
@@ -296,7 +297,7 @@ func Fig22() (string, error) {
 
 // Fig23 reports the final performance evaluation: all five designs over the
 // six workloads, normalised to the TPU (Fig. 23).
-func Fig23() (string, error) {
+func Fig23(ctx context.Context) (string, error) {
 	designs := core.DesignPoints()
 	t := report.NewTable("Fig. 23: speedup over the TPU core (effective throughput)",
 		append([]string{"workload"}, designNames(designs)...)...)
@@ -305,12 +306,12 @@ func Fig23() (string, error) {
 	logs := make([]float64, len(designs))
 	for _, net := range workload.All() {
 		row := []string{net.Name}
-		ref, err := core.Evaluate(designs[0], net, 0)
+		ref, err := core.Evaluate(ctx, designs[0], net, 0)
 		if err != nil {
 			return "", err
 		}
 		for i, d := range designs {
-			ev, err := core.Evaluate(d, net, 0)
+			ev, err := core.Evaluate(ctx, d, net, 0)
 			if err != nil {
 				return "", err
 			}
@@ -334,14 +335,14 @@ func Fig23() (string, error) {
 }
 
 // Table1 reports the evaluation setup of every design (Table I).
-func Table1() (string, error) {
+func Table1(ctx context.Context) (string, error) {
 	t := report.NewTable("Table I: evaluation setup",
 		"design", "array WxH", "regs/PE", "ifmap buf", "output buf", "psum buf", "weight buf",
 		"freq (GHz)", "peak (TMAC/s)", "area @28nm (mm^2)")
 	t.AddRow("TPU", "256x256", "1", "24 MB unified", "", "", "",
 		"0.7", "45.9", "<331")
 	for _, cfg := range arch.Designs() {
-		est, err := estimator.Estimate(cfg)
+		est, err := estimator.Estimate(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
@@ -365,7 +366,7 @@ func Table1() (string, error) {
 }
 
 // Table2 reports every design's maximum batch per workload (Table II).
-func Table2() (string, error) {
+func Table2(ctx context.Context) (string, error) {
 	designs := core.DesignPoints()
 	t := report.NewTable("Table II: batch size per design (on-chip, no extra DRAM traffic)",
 		append([]string{"workload"}, designNames(designs)...)...)
@@ -384,7 +385,7 @@ func Table2() (string, error) {
 // paper's accounting, the normalised perf/W of a design is its mean speedup
 // over the TPU (Fig. 23's average) times the power ratio — throughput
 // ratios are averaged per workload before dividing by power.
-func Table3() (string, error) {
+func Table3(ctx context.Context) (string, error) {
 	t := report.NewTable("Table III: power efficiency",
 		"design", "power (W)", "perf/W (norm. to TPU)")
 	tpuPower := scalesim.TPU().Power
@@ -393,7 +394,7 @@ func Table3() (string, error) {
 	for _, tech := range []sfq.Technology{sfq.RSFQ, sfq.ERSFQ} {
 		cfg := arch.SuperNPU()
 		cfg.Tech = tech
-		speedup, power, err := meanSpeedupAndPower(core.SFQDesign(cfg))
+		speedup, power, err := meanSpeedupAndPower(ctx, core.SFQDesign(cfg))
 		if err != nil {
 			return "", err
 		}
@@ -416,16 +417,16 @@ func Table3() (string, error) {
 // returns its mean speedup over the TPU and its mean chip power. The
 // workloads evaluate concurrently; the means accumulate in workload order,
 // keeping the floats bit-identical to a serial run.
-func meanSpeedupAndPower(d core.Design) (speedup, power float64, err error) {
+func meanSpeedupAndPower(ctx context.Context, d core.Design) (speedup, power float64, err error) {
 	tpu := core.CMOSDesign(scalesim.TPU())
 	nets := workload.All()
 	type contrib struct{ speedup, power float64 }
-	vals, err := parallel.Map(len(nets), func(i int) (contrib, error) {
-		ref, err := core.Evaluate(tpu, nets[i], 0)
+	vals, err := parallel.MapContext(ctx, len(nets), func(ctx context.Context, i int) (contrib, error) {
+		ref, err := core.Evaluate(ctx, tpu, nets[i], 0)
 		if err != nil {
 			return contrib{}, err
 		}
-		ev, err := core.Evaluate(d, nets[i], 0)
+		ev, err := core.Evaluate(ctx, d, nets[i], 0)
 		if err != nil {
 			return contrib{}, err
 		}

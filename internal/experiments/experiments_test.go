@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ func TestIDsCoverEveryExhibit(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := Run("fig99"); err == nil {
+	if _, err := Run(context.Background(), "fig99"); err == nil {
 		t.Fatal("unknown exhibit ids must error")
 	}
 }
@@ -37,7 +38,7 @@ func TestEveryExhibitRuns(t *testing.T) {
 		"table3": "Table III",
 	}
 	for _, id := range IDs() {
-		out, err := Run(id)
+		out, err := Run(context.Background(), id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -51,7 +52,7 @@ func TestEveryExhibitRuns(t *testing.T) {
 }
 
 func TestRunAllConcatenatesEverything(t *testing.T) {
-	out, err := RunAll()
+	out, err := RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestRunAllConcatenatesEverything(t *testing.T) {
 }
 
 func TestFig23ContainsAllDesignsAndWorkloads(t *testing.T) {
-	out, err := Fig23()
+	out, err := Fig23(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestFig23ContainsAllDesignsAndWorkloads(t *testing.T) {
 }
 
 func TestTable3ContainsBothTechnologiesAndScenarios(t *testing.T) {
-	out, err := Table3()
+	out, err := Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -105,7 +105,7 @@ func MarginSweep(ctx context.Context, o MarginSweepOptions) (string, error) {
 	// The nominal reference only matters while rows remain to be computed:
 	// a fully checkpointed sweep resumes with zero simulation work.
 	if len(pending) > 0 {
-		nominal, err := npusim.Simulate(cfg, resnet, 1)
+		nominal, err := npusim.Simulate(ctx, cfg, resnet, 1)
 		if err != nil {
 			return "", err
 		}
@@ -126,7 +126,7 @@ func MarginSweep(ctx context.Context, o MarginSweepOptions) (string, error) {
 			i := pending[k]
 			fm := models[k]
 			m := margins[k]
-			r, err := npusim.SimulateFaulted(cfg, resnet, 1, fm)
+			r, err := npusim.SimulateFaulted(ctx, cfg, resnet, 1, fm)
 			if err != nil {
 				return err
 			}

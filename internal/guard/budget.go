@@ -1,0 +1,60 @@
+package guard
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Budget is a deterministic work budget counted in simulation steps. It
+// bounds runaway transients the way a wall-clock timeout would, but — the
+// point — identically on every machine and at every worker count: the
+// outcome of a budgeted run is a pure function of the inputs and the
+// budget, never of scheduling.
+//
+// A nil *Budget is valid and unlimited, so call sites thread budgets
+// unconditionally. Budgets are safe for concurrent use; several solver
+// runs may draw from one shared budget.
+type Budget struct {
+	max  int64
+	used atomic.Int64
+}
+
+// NewBudget returns a budget of maxSteps steps. maxSteps <= 0 means
+// unlimited.
+func NewBudget(maxSteps int64) *Budget {
+	return &Budget{max: maxSteps}
+}
+
+// Spend charges n steps against the budget and returns an error wrapping
+// ErrBudgetExceeded once the total charge passes the limit. Spending on a
+// nil or unlimited budget always succeeds. The error path is the only one
+// that allocates, so per-chunk charging inside a hot loop stays
+// allocation-free until the budget actually runs out.
+func (b *Budget) Spend(n int64) error {
+	if b == nil || b.max <= 0 {
+		return nil
+	}
+	if used := b.used.Add(n); used > b.max {
+		return fmt.Errorf("%w: %d of %d steps", ErrBudgetExceeded, used, b.max)
+	}
+	return nil
+}
+
+// Used returns the steps charged so far.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Remaining returns the steps left, or -1 for an unlimited budget.
+func (b *Budget) Remaining() int64 {
+	if b == nil || b.max <= 0 {
+		return -1
+	}
+	if r := b.max - b.used.Load(); r > 0 {
+		return r
+	}
+	return 0
+}

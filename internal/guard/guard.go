@@ -1,0 +1,108 @@
+// Package guard is the resilience layer of the simulation core: a typed,
+// errors.Is-able failure taxonomy plus the small deterministic mechanisms
+// the modeling packages use to stay bounded and cancellable — an atomic
+// cancellation flag cheap enough for the RK4 hot loop (Watch), a
+// deterministic step budget (Budget), and a count-based divergence circuit
+// breaker (Breaker).
+//
+// Every failure a long-running simulation can hit maps onto one of five
+// sentinels:
+//
+//	ErrCanceled         the caller's context was canceled
+//	ErrDeadlineExceeded the caller's context deadline passed
+//	ErrDiverged         the numeric state left its physical bounds
+//	ErrNonFinite        a NaN or Inf appeared in the state or a result
+//	ErrBudgetExceeded   a deterministic step budget ran out
+//
+// The first two are transient: retrying the same computation with a fresh
+// context can succeed, so caches must never memoise them (simcache evicts
+// them, see IsTransient). The last three are deterministic properties of
+// the inputs and are safe to memoise.
+//
+// Nothing in this package reads the wall clock or draws randomness: budgets
+// are counted in solver steps and the breaker in consecutive failures, so
+// every decision is reproducible byte for byte across runs and worker
+// counts — the repository's core determinism contract.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The failure taxonomy. All errors produced by this package (and by the
+// modeling packages' guard integration points) wrap exactly one of these,
+// so callers classify failures with errors.Is and never by string.
+var (
+	// ErrCanceled marks work abandoned because the caller's context was
+	// canceled. Errors wrapping it also wrap context.Canceled.
+	ErrCanceled = errors.New("guard: canceled")
+	// ErrDeadlineExceeded marks work abandoned because the caller's
+	// context deadline passed. Errors wrapping it also wrap
+	// context.DeadlineExceeded.
+	ErrDeadlineExceeded = errors.New("guard: deadline exceeded")
+	// ErrDiverged marks a simulation whose state left its physical bounds
+	// and could not recover.
+	ErrDiverged = errors.New("guard: diverged")
+	// ErrNonFinite marks a NaN or Inf detected in simulation state or in
+	// a derived result.
+	ErrNonFinite = errors.New("guard: non-finite value")
+	// ErrBudgetExceeded marks a computation that ran out of its
+	// deterministic step budget.
+	ErrBudgetExceeded = errors.New("guard: step budget exceeded")
+)
+
+// CtxErr maps ctx.Err() into the taxonomy: nil while the context is live,
+// otherwise an error wrapping both the matching guard sentinel
+// (ErrCanceled or ErrDeadlineExceeded) and the original context error, so
+// errors.Is succeeds against either family.
+func CtxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return wrapCtx(err)
+	}
+	return nil
+}
+
+// WrapCancellation lifts an error that carries a bare context sentinel
+// somewhere in its chain into the guard taxonomy. Errors already classified
+// and errors unrelated to cancellation pass through unchanged.
+func WrapCancellation(err error) error {
+	if err == nil || errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return wrapCtx(err)
+	}
+	return err
+}
+
+func wrapCtx(err error) error {
+	mCancellations.Inc()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, err)
+}
+
+// IsCancellation reports whether err belongs to the cancellation class:
+// guard or context cancellation/deadline sentinels anywhere in the chain.
+func IsCancellation(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// IsTransient reports whether err describes a failure of this particular
+// attempt rather than of the computation's inputs: cancellations, deadline
+// expiries, and budget exhaustion. Transient errors must never be memoised
+// — the same inputs can succeed under a fresh context or a larger budget.
+func IsTransient(err error) bool {
+	return IsCancellation(err) || errors.Is(err, ErrBudgetExceeded)
+}
+
+// IsNumeric reports whether err describes a numeric simulation failure
+// (divergence or a non-finite value) — the class the circuit breaker
+// counts. Numeric failures are deterministic in the inputs.
+func IsNumeric(err error) bool {
+	return errors.Is(err, ErrDiverged) || errors.Is(err, ErrNonFinite)
+}

@@ -1,0 +1,241 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCtxErrLiveContext(t *testing.T) {
+	if err := CtxErr(context.Background()); err != nil {
+		t.Fatalf("CtxErr(Background) = %v, want nil", err)
+	}
+}
+
+func TestCtxErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := CtxErr(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("errors.Is(err, ErrCanceled) = false for %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("canceled context misclassified as deadline: %v", err)
+	}
+}
+
+func TestCtxErrDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := CtxErr(ctx)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("errors.Is(err, ErrDeadlineExceeded) = false for %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, context.DeadlineExceeded) = false for %v", err)
+	}
+}
+
+func TestWrapCancellation(t *testing.T) {
+	base := fmt.Errorf("sweep point 3: %w", context.Canceled)
+	err := WrapCancellation(base)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("wrapped chain lost ErrCanceled: %v", err)
+	}
+	// Already-classified errors pass through unchanged.
+	if again := WrapCancellation(err); again != err {
+		t.Errorf("double wrap changed error: %v -> %v", err, again)
+	}
+	// Unrelated errors pass through unchanged.
+	plain := errors.New("plain")
+	if got := WrapCancellation(plain); got != plain {
+		t.Errorf("unrelated error rewritten: %v", got)
+	}
+	if got := WrapCancellation(nil); got != nil {
+		t.Errorf("WrapCancellation(nil) = %v", got)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		err                              error
+		cancellation, transient, numeric bool
+	}{
+		{fmt.Errorf("x: %w", ErrCanceled), true, true, false},
+		{fmt.Errorf("x: %w", ErrDeadlineExceeded), true, true, false},
+		{fmt.Errorf("x: %w", context.Canceled), true, true, false},
+		{fmt.Errorf("x: %w", ErrBudgetExceeded), false, true, false},
+		{fmt.Errorf("x: %w", ErrDiverged), false, false, true},
+		{fmt.Errorf("x: %w", ErrNonFinite), false, false, true},
+		{errors.New("plain"), false, false, false},
+	}
+	for _, c := range cases {
+		if got := IsCancellation(c.err); got != c.cancellation {
+			t.Errorf("IsCancellation(%v) = %v, want %v", c.err, got, c.cancellation)
+		}
+		if got := IsTransient(c.err); got != c.transient {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.transient)
+		}
+		if got := IsNumeric(c.err); got != c.numeric {
+			t.Errorf("IsNumeric(%v) = %v, want %v", c.err, got, c.numeric)
+		}
+	}
+}
+
+func TestWatchInertForBackground(t *testing.T) {
+	var w Watch
+	w.Arm(context.Background())
+	defer w.Disarm()
+	if w.Canceled() {
+		t.Error("Background watch reports canceled")
+	}
+	if err := w.Err(); err != nil {
+		t.Errorf("Background watch Err() = %v", err)
+	}
+}
+
+func TestWatchFiresOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var w Watch
+	w.Arm(ctx)
+	defer w.Disarm()
+	if w.Canceled() {
+		t.Fatal("watch fired before cancel")
+	}
+	cancel()
+	// Cancellation publishes the context error before cancel() returns, so
+	// the very next poll must observe it — no settling loop needed.
+	if !w.Canceled() {
+		t.Fatal("watch did not observe cancellation on the first poll after cancel")
+	}
+	if err := w.Err(); !errors.Is(err, ErrCanceled) {
+		t.Errorf("watch Err() = %v, want ErrCanceled", err)
+	}
+}
+
+func TestWatchArmOfAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var w Watch
+	w.Arm(ctx)
+	defer w.Disarm()
+	if !w.Canceled() {
+		t.Error("watch armed on a dead context does not report canceled")
+	}
+}
+
+func TestWatchRearm(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var w Watch
+	w.Arm(ctx)
+	cancel()
+	w.Arm(context.Background())
+	defer w.Disarm()
+	if w.Canceled() {
+		t.Error("re-armed watch still reports the previous context's cancellation")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Spend(60); err != nil {
+		t.Fatalf("first spend: %v", err)
+	}
+	if err := b.Spend(40); err != nil {
+		t.Fatalf("exact spend to the limit: %v", err)
+	}
+	err := b.Spend(1)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-limit spend = %v, want ErrBudgetExceeded", err)
+	}
+	if got := b.Used(); got != 101 {
+		t.Errorf("Used() = %d, want 101", got)
+	}
+	if got := b.Remaining(); got != 0 {
+		t.Errorf("Remaining() = %d, want 0", got)
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	var b *Budget
+	if err := b.Spend(1 << 40); err != nil {
+		t.Errorf("nil budget spend: %v", err)
+	}
+	if got := b.Remaining(); got != -1 {
+		t.Errorf("nil budget Remaining() = %d, want -1", got)
+	}
+	if err := NewBudget(0).Spend(1 << 40); err != nil {
+		t.Errorf("zero budget spend: %v", err)
+	}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(3, 4)
+	div := fmt.Errorf("x: %w", ErrDiverged)
+	for i := 0; i < 2; i++ {
+		b.Record("d", div)
+		if !b.Allow("d") {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Record("d", div)
+	if b.Allow("d") {
+		t.Fatal("breaker still closed after 3 consecutive numeric failures")
+	}
+	if !b.Open("d") {
+		t.Fatal("Open() = false on a tripped breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(1, 3)
+	b.Record("d", fmt.Errorf("x: %w", ErrNonFinite))
+	// Denied, denied, probe — deterministic count-based cadence.
+	got := []bool{b.Allow("d"), b.Allow("d"), b.Allow("d")}
+	want := []bool{false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("open-breaker Allow cadence = %v, want %v", got, want)
+		}
+	}
+	// A successful probe closes the breaker.
+	b.Record("d", nil)
+	if !b.Allow("d") || b.Open("d") {
+		t.Fatal("breaker did not close after successful probe")
+	}
+}
+
+func TestBreakerIgnoresTransientErrors(t *testing.T) {
+	b := NewBreaker(1, 2)
+	b.Record("d", fmt.Errorf("x: %w", ErrCanceled))
+	b.Record("d", errors.New("plain failure"))
+	if !b.Allow("d") {
+		t.Fatal("breaker tripped by non-numeric errors")
+	}
+	// Consecutive-failure count is not reset by a transient error either:
+	// two numeric failures around a cancellation still trip threshold 2.
+	b2 := NewBreaker(2, 2)
+	div := fmt.Errorf("x: %w", ErrDiverged)
+	b2.Record("d", div)
+	b2.Record("d", fmt.Errorf("x: %w", ErrCanceled))
+	b2.Record("d", div)
+	if b2.Allow("d") {
+		t.Fatal("cancellation between numeric failures reset the breaker count")
+	}
+}
+
+func TestBreakerKeysIndependent(t *testing.T) {
+	b := NewBreaker(1, 2)
+	b.Record("bad", fmt.Errorf("x: %w", ErrDiverged))
+	if b.Allow("bad") {
+		t.Fatal("tripped key still allowed")
+	}
+	if !b.Allow("good") {
+		t.Fatal("untripped key denied")
+	}
+}

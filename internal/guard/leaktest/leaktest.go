@@ -1,0 +1,52 @@
+// Package leaktest asserts that a test leaves no goroutines behind. The
+// parallel pool and the server's graceful drain both promise complete
+// shutdown; these helpers turn that promise into a failing test instead of
+// a slow leak that only shows up as creeping goroutine counts in
+// production.
+package leaktest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleWindow bounds how long Check waits for goroutines started by the
+// test to finish after cleanup begins. Shutdown paths under test are
+// synchronous (pool Wait, server Shutdown), so the window only needs to
+// absorb runtime bookkeeping, not real work.
+const settleWindow = 3 * time.Second
+
+// Check snapshots the goroutine count and registers a cleanup that fails
+// tb if the count has not settled back to the snapshot (or below) by the
+// end of the test. Call it first, before the code under test starts any
+// goroutines.
+func Check(tb testing.TB) {
+	tb.Helper()
+	before := runtime.NumGoroutine()
+	tb.Cleanup(func() {
+		if settles(before) {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		tb.Errorf("goroutine leak: %d before, %d after settle window\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
+// settles polls the goroutine count until it drops back to at most the
+// baseline or the settle window expires. The poll sleeps briefly between
+// samples so goroutines in their final returns get scheduled.
+func settles(baseline int) bool {
+	deadline := time.Now().Add(settleWindow)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,54 @@
+package guard
+
+import "context"
+
+// Watch gives a hot loop a cheap, deterministic cancellation poll: arm it
+// against a context once per run, then call Canceled at any frequency. A
+// poll is one nil check plus, for cancelable contexts, one ctx.Err() call
+// — no channel select, no goroutine, no callback registration, and no
+// allocation on any path.
+//
+// Determinism matters as much as cost: context cancellation publishes its
+// error before closing the done channel, so the very first poll after a
+// cancel() returns observes it. Nothing asynchronous sits between the
+// cancel and the loop noticing.
+//
+// The zero value is an inert watch that never reports cancellation.
+// Arming against a context that can never be canceled (ctx.Done() == nil,
+// e.g. context.Background()) stays on the nil-check fast path, which is
+// how the jsim solver keeps its zero-allocation steady state on the
+// uncancellable path.
+type Watch struct {
+	done <-chan struct{}
+	ctx  context.Context
+}
+
+// Arm points the watch at ctx, resetting any previous arming.
+// Uncancellable contexts arm to the inert state.
+func (w *Watch) Arm(ctx context.Context) {
+	w.ctx = ctx
+	w.done = ctx.Done()
+}
+
+// Disarm returns the watch to the inert state. Safe to call on an unarmed
+// or zero-value watch.
+func (w *Watch) Disarm() {
+	w.ctx = nil
+	w.done = nil
+}
+
+// Canceled reports whether the armed context has fired. Inert and
+// uncancellable watches report false without touching the context.
+func (w *Watch) Canceled() bool {
+	return w.done != nil && w.ctx.Err() != nil
+}
+
+// Err returns the taxonomy-wrapped error of the armed context: nil while
+// it is live (or when the watch is unarmed), ErrCanceled or
+// ErrDeadlineExceeded after it fires.
+func (w *Watch) Err() error {
+	if w.ctx == nil {
+		return nil
+	}
+	return CtxErr(w.ctx)
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 
 	"supernpu/internal/faultinject"
+	"supernpu/internal/guard"
 	"supernpu/internal/parallel"
 )
 
@@ -24,11 +25,14 @@ type BatchJob struct {
 // RunBatch integrates independent chains across the parallel pool with one
 // reused Solver per worker. The error contract is parallel.Map's: the error
 // of the lowest failing job, with fail-fast scheduling after it.
-func RunBatch(jobs []BatchJob) error {
-	return parallel.ForEachLocal(len(jobs), NewSolver, func(s *Solver, i int) error {
-		j := &jobs[i]
-		return s.RunChain(j.Chain, j.T, j.Dt, j.Observers...)
-	})
+// Cancellation of ctx stops both the pool's claiming of new jobs and, via
+// each solver's watch, the transients already in flight.
+func RunBatch(ctx context.Context, jobs []BatchJob) error {
+	return parallel.ForEachLocalContext(ctx, len(jobs), NewSolver,
+		func(ctx context.Context, s *Solver, i int) error {
+			j := &jobs[i]
+			return s.RunChain(ctx, j.Chain, j.T, j.Dt, j.Observers...)
+		})
 }
 
 // BiasMarginsFaultedBatch measures the operating bias margins of many fault
@@ -38,20 +42,20 @@ func RunBatch(jobs []BatchJob) error {
 // BiasMarginsFaulted, so a re-sweep (or a later single query) is free.
 func BiasMarginsFaultedBatch(ctx context.Context, fms []*faultinject.Model) ([]Margins, error) {
 	return parallel.MapLocalContext(ctx, len(fms), NewSolver,
-		func(_ context.Context, s *Solver, i int) (Margins, error) {
-			return biasMarginsFaultedCached(fms[i], s)
+		func(ctx context.Context, s *Solver, i int) (Margins, error) {
+			return biasMarginsFaultedCached(ctx, fms[i], s)
 		})
 }
 
 // biasMarginsFaultedCached resolves one fault variant's margins through the
 // memo cache, running the bisections on the given solver on a miss. A
 // disabled model shares the nominal BiasMargins entry.
-func biasMarginsFaultedCached(fm *faultinject.Model, s *Solver) (Margins, error) {
+func biasMarginsFaultedCached(ctx context.Context, fm *faultinject.Model, s *Solver) (Margins, error) {
 	if !fm.Enabled() {
-		return BiasMargins()
+		return BiasMargins(ctx)
 	}
 	v, err := cache.GetOrCompute("bias-margins/10"+fm.Key(), func() (any, error) {
-		return biasMarginsFaulted(fm, s)
+		return biasMarginsFaulted(ctx, fm, s)
 	})
 	if err != nil {
 		return Margins{}, err
@@ -63,31 +67,48 @@ func biasMarginsFaultedCached(fm *faultinject.Model, s *Solver) (Margins, error)
 // solver, the chain under test (rebuilt once, re-biased per probe) and a
 // final-state observer. Re-biasing and re-running reproduces the legacy
 // fresh-chain-per-probe trajectories exactly — the netlist is deterministic
-// and only Bias varied between probes.
+// and only Bias varied between probes. The probe carries the bisection's
+// context (its lifetime is one margin analysis) so every transient under
+// it is cancellable.
 type marginProbe struct {
+	ctx    context.Context
 	s      *Solver
 	ch     *Chain
 	biasIc []float64 // per-node current the probe bias multiplies
 	fin    FinalState
 	obs    []Observer
 	T, dt  float64
+	// err latches the first non-numeric solver failure (cancellation,
+	// deadline, budget): those describe the attempt, not the operating
+	// point, so "works == false" must not stand in for them — a canceled
+	// bisection otherwise converges on garbage and memoises it. Numeric
+	// failures stay what they always were: evidence the point is outside
+	// the margin.
+	err error
 }
 
 // newMarginProbe builds a probe over ch whose probe bias is expressed in
 // multiples of biasIc[i] for node i.
-func newMarginProbe(s *Solver, ch *Chain, biasIc []float64, T, dt float64) *marginProbe {
-	p := &marginProbe{s: s, ch: ch, biasIc: biasIc, T: T, dt: dt}
+func newMarginProbe(ctx context.Context, s *Solver, ch *Chain, biasIc []float64, T, dt float64) *marginProbe {
+	p := &marginProbe{ctx: ctx, s: s, ch: ch, biasIc: biasIc, T: T, dt: dt}
 	p.obs = []Observer{&p.fin}
 	return p
 }
 
 // works reports whether the chain delivers exactly one pulse per junction at
-// the given bias multiple.
+// the given bias multiple. After a latched error it reports false without
+// simulating; callers must check p.err before trusting a bisection result.
 func (p *marginProbe) works(bias float64) bool {
+	if p.err != nil {
+		return false
+	}
 	for i := range p.ch.Nodes {
 		p.ch.Nodes[i].Bias = bias * p.biasIc[i]
 	}
-	if err := p.s.RunChain(p.ch, p.T, p.dt, p.obs...); err != nil {
+	if err := p.s.RunChain(p.ctx, p.ch, p.T, p.dt, p.obs...); err != nil {
+		if !guard.IsNumeric(err) {
+			p.err = err
+		}
 		return false
 	}
 	for i := range p.ch.Nodes {
@@ -136,15 +157,18 @@ func uniformIc(n int, ic float64) []float64 {
 var ErrUnbracketedOverbias = errors.New("jsim: perturbed JTL still single-pulses at 1.5x Ic; overbias bound not bracketed")
 
 // biasMarginsFaulted runs the faulted bisections serially on one solver.
-func biasMarginsFaulted(fm *faultinject.Model, s *Solver) (Margins, error) {
+func biasMarginsFaulted(ctx context.Context, fm *faultinject.Model, s *Solver) (Margins, error) {
 	const (
 		stages    = 10
 		nominalIc = 100e-6 // the bias rails are designed against this
 		nominal   = 0.7
 	)
-	p := newMarginProbe(s, PerturbedJTL(stages, fm), uniformIc(stages, nominalIc),
+	p := newMarginProbe(ctx, s, PerturbedJTL(stages, fm), uniformIc(stages, nominalIc),
 		marginProbeT, marginProbeDt)
 	if !p.works(nominal) {
+		if err := p.err; err != nil {
+			return Margins{}, err
+		}
 		// The spread closed the window at the design point outright: the
 		// chip margin is zero.
 		return Margins{Low: nominal, High: nominal}, nil
@@ -152,5 +176,9 @@ func biasMarginsFaulted(fm *faultinject.Model, s *Solver) (Margins, error) {
 	if p.works(1.5) {
 		return Margins{}, ErrUnbracketedOverbias
 	}
-	return Margins{Low: p.bisect(0.0, nominal), High: p.bisect(1.5, nominal)}, nil
+	m := Margins{Low: p.bisect(0.0, nominal), High: p.bisect(1.5, nominal)}
+	if err := p.err; err != nil {
+		return Margins{}, err
+	}
+	return m, nil
 }

@@ -1,6 +1,7 @@
 package jsim
 
 import (
+	"context"
 	"testing"
 
 	"supernpu/internal/sfq"
@@ -13,7 +14,7 @@ func BenchmarkRunDense(b *testing.B) {
 	ch := StandardJTL(12)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := ch.Run(120*sfq.Picosecond, 0.02*sfq.Picosecond); err != nil {
+		if _, err := ch.Run(context.Background(), 120*sfq.Picosecond, 0.02*sfq.Picosecond); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -31,13 +32,13 @@ func BenchmarkRunStreaming(b *testing.B) {
 		fin    FinalState
 	)
 	obs := []Observer{&pulse, &energy, &fin}
-	if err := s.RunChain(ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
+	if err := s.RunChain(context.Background(), ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.RunChain(ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
+		if err := s.RunChain(context.Background(), ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -48,7 +49,7 @@ func BenchmarkRunStreaming(b *testing.B) {
 func BenchmarkBiasMargins(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := biasMargins(); err != nil {
+		if _, err := biasMargins(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +71,7 @@ func BenchmarkRunBatch(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := RunBatch(jobs); err != nil {
+		if err := RunBatch(context.Background(), jobs); err != nil {
 			b.Fatal(err)
 		}
 	}

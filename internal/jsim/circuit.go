@@ -1,6 +1,7 @@
 package jsim
 
 import (
+	"context"
 	"errors"
 
 	"supernpu/internal/parallel"
@@ -72,10 +73,10 @@ func (c *Circuit) ArmEnds(armLen int) (int, int) {
 // Run integrates the circuit with RK4, like Chain.Run but over the link
 // graph, and materialises the dense trajectory. Like Chain.Run it is the
 // legacy dense API over a DenseRecorder; see RunObserved for streaming.
-func (c *Circuit) Run(T, dt float64) (*Result, error) {
+func (c *Circuit) Run(ctx context.Context, T, dt float64) (*Result, error) {
 	var rec DenseRecorder
 	var s Solver
-	if err := s.RunCircuit(c, T, dt, &rec); err != nil {
+	if err := s.RunCircuit(ctx, c, T, dt, &rec); err != nil {
 		return nil, err
 	}
 	return rec.Result(), nil
@@ -84,9 +85,9 @@ func (c *Circuit) Run(T, dt float64) (*Result, error) {
 // RunObserved integrates the circuit, streaming every sample to the
 // observers instead of materialising a dense history. It uses a fresh
 // Solver; for repeated runs, reuse a Solver directly.
-func (c *Circuit) RunObserved(T, dt float64, obs ...Observer) error {
+func (c *Circuit) RunObserved(ctx context.Context, T, dt float64, obs ...Observer) error {
 	var s Solver
-	return s.RunCircuit(c, T, dt, obs...)
+	return s.RunCircuit(ctx, c, T, dt, obs...)
 }
 
 // Margins is an operating-margin analysis result: the bias range (as a
@@ -102,11 +103,12 @@ func (m Margins) Width() float64 { return m.High - m.Low }
 // BiasMargins measures the JTL's operating bias margins by bisection: the
 // lowest and highest global bias (in multiples of Ic) at which a 10-stage
 // line still delivers exactly one pulse per injected fluxon. SFQ cells are
-// typically quoted with ±20–30% bias margins. The result is memoised; the
-// two bisection arms run concurrently, each transient its own netlist.
-func BiasMargins() (Margins, error) {
+// typically quoted with ±20–30% bias margins. The result is memoised (a
+// canceled computation is evicted, not poisoned in); the two bisection
+// arms run concurrently, each transient its own netlist.
+func BiasMargins(ctx context.Context) (Margins, error) {
 	v, err := cache.GetOrCompute("bias-margins/10", func() (any, error) {
-		return biasMargins()
+		return biasMargins(ctx)
 	})
 	if err != nil {
 		return Margins{}, err
@@ -122,24 +124,32 @@ const (
 )
 
 // newNominalProbe builds a fresh nominal-JTL margin probe on the solver.
-func newNominalProbe(s *Solver) *marginProbe {
+func newNominalProbe(ctx context.Context, s *Solver) *marginProbe {
 	ch := StandardJTL(10)
-	return newMarginProbe(s, ch, perJunctionIc(ch), marginProbeT, marginProbeDt)
+	return newMarginProbe(ctx, s, ch, perJunctionIc(ch), marginProbeT, marginProbeDt)
 }
 
-func biasMargins() (Margins, error) {
+func biasMargins(ctx context.Context) (Margins, error) {
 	const nominal = 0.7
-	if !newNominalProbe(NewSolver()).works(nominal) {
+	probe := newNominalProbe(ctx, NewSolver())
+	if !probe.works(nominal) {
+		if err := probe.err; err != nil {
+			return Margins{}, err
+		}
 		return Margins{}, errors.New("jsim: JTL fails at the nominal bias point")
 	}
 	// The two bisection arms run concurrently, each reusing one solver and
 	// one chain across its probes.
-	arms, err := parallel.MapLocal(2, func() *marginProbe { return newNominalProbe(NewSolver()) },
-		func(p *marginProbe, i int) (float64, error) {
+	arms, err := parallel.MapLocalContext(ctx, 2,
+		func() *marginProbe { return newNominalProbe(ctx, NewSolver()) },
+		func(ctx context.Context, p *marginProbe, i int) (float64, error) {
+			var v float64
 			if i == 0 {
-				return p.bisect(0.0, nominal), nil
+				v = p.bisect(0.0, nominal)
+			} else {
+				v = p.bisect(1.2, nominal)
 			}
-			return p.bisect(1.2, nominal), nil
+			return v, p.err
 		})
 	if err != nil {
 		return Margins{}, err

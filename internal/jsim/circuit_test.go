@@ -1,6 +1,7 @@
 package jsim
 
 import (
+	"context"
 	"testing"
 
 	"supernpu/internal/sfq"
@@ -11,7 +12,7 @@ import (
 func TestSplitterDuplicatesPulse(t *testing.T) {
 	const armLen = 4
 	ckt := SplitterTree(armLen)
-	res, err := ckt.Run(140*sfq.Picosecond, 0.02*sfq.Picosecond)
+	res, err := ckt.Run(context.Background(), 140*sfq.Picosecond, 0.02*sfq.Picosecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestSplitterDuplicatesPulse(t *testing.T) {
 func TestSplitterQuiescentWithoutInput(t *testing.T) {
 	ckt := SplitterTree(3)
 	ckt.Sources = nil
-	res, err := ckt.Run(100*sfq.Picosecond, 0.05*sfq.Picosecond)
+	res, err := ckt.Run(context.Background(), 100*sfq.Picosecond, 0.05*sfq.Picosecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,20 +54,20 @@ func TestSplitterQuiescentWithoutInput(t *testing.T) {
 
 func TestCircuitValidation(t *testing.T) {
 	empty := &Circuit{}
-	if _, err := empty.Run(1e-11, 1e-15); err == nil {
+	if _, err := empty.Run(context.Background(), 1e-11, 1e-15); err == nil {
 		t.Error("empty circuit must be rejected")
 	}
 	bad := SplitterTree(2)
 	bad.Links = append(bad.Links, Link{A: 0, B: 999, L: 1e-12})
-	if _, err := bad.Run(1e-11, 1e-15); err == nil {
+	if _, err := bad.Run(context.Background(), 1e-11, 1e-15); err == nil {
 		t.Error("out-of-range link must be rejected")
 	}
 	badL := SplitterTree(2)
 	badL.Links[0].L = 0
-	if _, err := badL.Run(1e-11, 1e-15); err == nil {
+	if _, err := badL.Run(context.Background(), 1e-11, 1e-15); err == nil {
 		t.Error("non-positive inductance must be rejected")
 	}
-	if _, err := SplitterTree(2).Run(0, 1e-15); err == nil {
+	if _, err := SplitterTree(2).Run(context.Background(), 0, 1e-15); err == nil {
 		t.Error("non-positive T must be rejected")
 	}
 }
@@ -74,7 +75,7 @@ func TestCircuitValidation(t *testing.T) {
 // Operating margins: the JTL must work over a healthy bias window around
 // the nominal 0.7·Ic — the robustness SFQ cell libraries are quoted with.
 func TestBiasMargins(t *testing.T) {
-	m, err := BiasMargins()
+	m, err := BiasMargins(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestBiasMargins(t *testing.T) {
 // for a few picoseconds before a clock pulse can read it out — the SetupTime
 // the cell library carries (DFF: 4.5 ps).
 func TestExtractSetupTime(t *testing.T) {
-	ts, err := ExtractSetupTime()
+	ts, err := ExtractSetupTime(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

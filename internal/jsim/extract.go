@@ -1,9 +1,11 @@
 package jsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"supernpu/internal/guard"
 	"supernpu/internal/sfq"
 	"supernpu/internal/simcache"
 )
@@ -31,9 +33,9 @@ type GateParams struct {
 // energy, the same extraction the paper performs with JSIM against the AIST
 // 1.0 µm cell library. The extraction is memoised; only the first call pays
 // for the transient.
-func ExtractJTLParams() (GateParams, error) {
+func ExtractJTLParams(ctx context.Context) (GateParams, error) {
 	v, err := cache.GetOrCompute("jtl-params/12", func() (any, error) {
-		return extractJTLParams()
+		return extractJTLParams(ctx)
 	})
 	if err != nil {
 		return GateParams{}, err
@@ -41,18 +43,22 @@ func ExtractJTLParams() (GateParams, error) {
 	return v.(GateParams), nil
 }
 
-func extractJTLParams() (GateParams, error) {
+func extractJTLParams(ctx context.Context) (GateParams, error) {
 	const stages = 12
 	chain := StandardJTL(stages)
 	// Streaming extraction: pulse times, bias energy and final phases are
 	// accumulated in-stream, so the transient never materialises its dense
-	// O(steps·nodes) history.
+	// O(steps·nodes) history. The run goes through the refined-dt recovery
+	// path: a numeric failure re-runs at a halved step (bounded by
+	// MaxDtRetries); the healthy extraction takes the first attempt at the
+	// nominal dt and is byte-identical to a plain run.
 	var (
 		pulse  PulseDetector
 		energy EnergyAccumulator
 		fin    FinalState
 	)
-	if err := chain.RunObserved(120*sfq.Picosecond, 0.02*sfq.Picosecond, &pulse, &energy, &fin); err != nil {
+	s := NewSolver()
+	if _, err := s.RunChainRefined(ctx, chain, 120*sfq.Picosecond, 0.02*sfq.Picosecond, &pulse, &energy, &fin); err != nil {
 		return GateParams{}, err
 	}
 
@@ -134,7 +140,7 @@ func StorageChain(clockAt float64) *Chain {
 // pulse) and reports whether the chain stores the fluxon until clocked —
 // the defining behaviour of the SFQ delay flip-flop. It returns an error if
 // either transient fails or if the observed behaviour is not store/release.
-func DFFDemo() error {
+func DFFDemo(ctx context.Context) error {
 	const (
 		T       = 160 * sfq.Picosecond
 		dt      = 0.02 * sfq.Picosecond
@@ -150,7 +156,7 @@ func DFFDemo() error {
 		released FinalState
 		relPulse PulseDetector
 	)
-	err := RunBatch([]BatchJob{
+	err := RunBatch(ctx, []BatchJob{
 		{Chain: StorageChain(0), T: T, Dt: dt, Observers: []Observer{&held}},
 		{Chain: StorageChain(clockAt), T: T, Dt: dt, Observers: []Observer{&released, &relPulse}},
 	})
@@ -180,9 +186,9 @@ func DFFDemo() error {
 // separation on the storage-loop circuit. This is the timing-parameter
 // extraction the gate-level estimation layer performs against JSIM
 // (Section IV-A1). The extraction is memoised.
-func ExtractSetupTime() (float64, error) {
+func ExtractSetupTime(ctx context.Context) (float64, error) {
 	v, err := cache.GetOrCompute("setup-time", func() (any, error) {
-		return extractSetupTime()
+		return extractSetupTime(ctx)
 	})
 	if err != nil {
 		return 0, err
@@ -190,7 +196,7 @@ func ExtractSetupTime() (float64, error) {
 	return v.(float64), nil
 }
 
-func extractSetupTime() (float64, error) {
+func extractSetupTime(ctx context.Context) (float64, error) {
 	const (
 		T      = 200 * sfq.Picosecond
 		dt     = 0.05 * sfq.Picosecond
@@ -203,7 +209,7 @@ func extractSetupTime() (float64, error) {
 	// solver is reused across the probe and every bisection transient.
 	s := NewSolver()
 	var pulse PulseDetector
-	if err := s.RunChain(StorageChain(0), 80*sfq.Picosecond, dt, &pulse); err != nil {
+	if err := s.RunChain(ctx, StorageChain(0), 80*sfq.Picosecond, dt, &pulse); err != nil {
 		return 0, err
 	}
 	ref := pulse.Times(2)
@@ -214,8 +220,18 @@ func extractSetupTime() (float64, error) {
 
 	var fin FinalState
 	relObs := []Observer{&fin}
+	// probeErr latches non-numeric failures (cancellation, budget): they
+	// describe the attempt, not the cell, so they must abort the bisection
+	// instead of masquerading as "did not release".
+	var probeErr error
 	releases := func(sep float64) bool {
-		if err := s.RunChain(StorageChain(arrive+sep), T, dt, relObs...); err != nil {
+		if probeErr != nil {
+			return false
+		}
+		if err := s.RunChain(ctx, StorageChain(arrive+sep), T, dt, relObs...); err != nil {
+			if !guard.IsNumeric(err) {
+				probeErr = err
+			}
 			return false
 		}
 		return fin.Slips(out) >= 1
@@ -223,6 +239,9 @@ func extractSetupTime() (float64, error) {
 	// Establish a working upper bound.
 	hi := 40 * sfq.Picosecond
 	if !releases(hi) {
+		if probeErr != nil {
+			return 0, probeErr
+		}
 		return 0, errors.New("jsim: storage cell fails even with a generous setup interval")
 	}
 	lo := -10 * sfq.Picosecond
@@ -236,6 +255,9 @@ func extractSetupTime() (float64, error) {
 		} else {
 			lo = mid
 		}
+	}
+	if probeErr != nil {
+		return 0, probeErr
 	}
 	return hi, nil
 }

@@ -1,6 +1,8 @@
 package jsim
 
 import (
+	"context"
+
 	"supernpu/internal/faultinject"
 )
 
@@ -48,6 +50,6 @@ func itoa(i int) string {
 // key; a disabled model shares the nominal BiasMargins entry. Sweeps over
 // many fault variants should prefer BiasMarginsFaultedBatch, which reuses
 // one solver per worker across the whole grid.
-func BiasMarginsFaulted(fm *faultinject.Model) (Margins, error) {
-	return biasMarginsFaultedCached(fm, NewSolver())
+func BiasMarginsFaulted(ctx context.Context, fm *faultinject.Model) (Margins, error) {
+	return biasMarginsFaultedCached(ctx, fm, NewSolver())
 }

@@ -1,6 +1,7 @@
 package jsim
 
 import (
+	"context"
 	"testing"
 
 	"supernpu/internal/faultinject"
@@ -37,12 +38,12 @@ func TestPerturbedJTLSpreadsIc(t *testing.T) {
 }
 
 func TestBiasMarginsFaultedNarrowsWindow(t *testing.T) {
-	nominal, err := BiasMargins()
+	nominal, err := BiasMargins(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	fm := &faultinject.Model{Seed: 11, IcSpread: 0.08}
-	faulted, err := BiasMarginsFaulted(fm)
+	faulted, err := BiasMarginsFaulted(context.Background(), fm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestBiasMarginsFaultedNarrowsWindow(t *testing.T) {
 		t.Fatalf("negative margin window: %+v", faulted)
 	}
 	// Disabled model shares the nominal extraction.
-	same, err := BiasMarginsFaulted(nil)
+	same, err := BiasMarginsFaulted(context.Background(), nil)
 	if err != nil || same != nominal {
 		t.Fatalf("disabled model diverged from BiasMargins: %+v vs %+v (%v)", same, nominal, err)
 	}

@@ -21,6 +21,7 @@
 package jsim
 
 import (
+	"context"
 	"math"
 
 	"supernpu/internal/sfq"
@@ -110,11 +111,12 @@ type Result struct {
 // Run is the legacy dense API: it records O(steps·nodes) history through a
 // DenseRecorder. Hot paths that only need pulse times, slips or energies
 // should attach streaming observers via RunObserved (or a reused Solver),
-// which allocates O(nodes) total.
-func (c *Chain) Run(T, dt float64) (*Result, error) {
+// which allocates O(nodes) total. Cancellation of ctx aborts the transient
+// within one solver poll interval.
+func (c *Chain) Run(ctx context.Context, T, dt float64) (*Result, error) {
 	var rec DenseRecorder
 	var s Solver
-	if err := s.RunChain(c, T, dt, &rec); err != nil {
+	if err := s.RunChain(ctx, c, T, dt, &rec); err != nil {
 		return nil, err
 	}
 	return rec.Result(), nil
@@ -123,9 +125,9 @@ func (c *Chain) Run(T, dt float64) (*Result, error) {
 // RunObserved integrates the chain, streaming every sample to the observers
 // instead of materialising a dense history. It uses a fresh Solver; for
 // repeated runs (sweeps, bisections), reuse a Solver directly.
-func (c *Chain) RunObserved(T, dt float64, obs ...Observer) error {
+func (c *Chain) RunObserved(ctx context.Context, T, dt float64, obs ...Observer) error {
 	var s Solver
-	return s.RunChain(c, T, dt, obs...)
+	return s.RunChain(ctx, c, T, dt, obs...)
 }
 
 // PulseTimes returns the times at which SFQ pulses pass the given node: the

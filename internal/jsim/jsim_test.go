@@ -1,6 +1,7 @@
 package jsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -9,14 +10,14 @@ import (
 
 func TestRunInputValidation(t *testing.T) {
 	c := StandardJTL(4)
-	if _, err := c.Run(0, 1e-15); err == nil {
+	if _, err := c.Run(context.Background(), 0, 1e-15); err == nil {
 		t.Error("Run must reject non-positive T")
 	}
-	if _, err := c.Run(1e-11, 0); err == nil {
+	if _, err := c.Run(context.Background(), 1e-11, 0); err == nil {
 		t.Error("Run must reject non-positive dt")
 	}
 	empty := &Chain{}
-	if _, err := empty.Run(1e-11, 1e-15); err == nil {
+	if _, err := empty.Run(context.Background(), 1e-11, 1e-15); err == nil {
 		t.Error("Run must reject an empty chain")
 	}
 }
@@ -35,7 +36,7 @@ func TestCriticallyDamped(t *testing.T) {
 // later nodes at later times.
 func TestFluxonPropagatesDownJTL(t *testing.T) {
 	const n = 10
-	res, err := StandardJTL(n).Run(120*sfq.Picosecond, 0.02*sfq.Picosecond)
+	res, err := StandardJTL(n).Run(context.Background(), 120*sfq.Picosecond, 0.02*sfq.Picosecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestNoSpontaneousSwitching(t *testing.T) {
 	// below Ic, so no junction may slip.
 	c := StandardJTL(6)
 	c.Sources = nil
-	res, err := c.Run(100*sfq.Picosecond, 0.02*sfq.Picosecond)
+	res, err := c.Run(context.Background(), 100*sfq.Picosecond, 0.02*sfq.Picosecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestNoSpontaneousSwitching(t *testing.T) {
 // The extraction the estimator is anchored on: per-stage delay on the ps
 // scale and switching energy of order I_bias·Φ0 per junction.
 func TestExtractJTLParams(t *testing.T) {
-	p, err := ExtractJTLParams()
+	p, err := ExtractJTLParams(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestExtractJTLParams(t *testing.T) {
 // constant: this is the validation link between the circuit level and the
 // analytical gate level.
 func TestExtractionMatchesCellLibrary(t *testing.T) {
-	p, err := ExtractJTLParams()
+	p, err := ExtractJTLParams(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestExtractionMatchesCellLibrary(t *testing.T) {
 
 // The DFF working principle of Fig. 1(c): store until clocked, then release.
 func TestStorageLoopDFFPrinciple(t *testing.T) {
-	if err := DFFDemo(); err != nil {
+	if err := DFFDemo(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -129,7 +130,7 @@ func TestBiasDelayTradeoff(t *testing.T) {
 		for i := range c.Nodes {
 			c.Nodes[i].Bias = bias * c.Nodes[i].JJ.Ic
 		}
-		res, err := c.Run(140*sfq.Picosecond, 0.02*sfq.Picosecond)
+		res, err := c.Run(context.Background(), 140*sfq.Picosecond, 0.02*sfq.Picosecond)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,13 +150,13 @@ func TestBiasDelayTradeoff(t *testing.T) {
 func TestDivergenceDetection(t *testing.T) {
 	// An absurdly large step must be caught, not silently produce NaNs.
 	c := StandardJTL(4)
-	if _, err := c.Run(100*sfq.Picosecond, 5*sfq.Picosecond); err == nil {
+	if _, err := c.Run(context.Background(), 100*sfq.Picosecond, 5*sfq.Picosecond); err == nil {
 		t.Skip("coarse step happened to stay finite; divergence path not exercised")
 	}
 }
 
 func TestPulseTimesInterpolation(t *testing.T) {
-	res, err := StandardJTL(6).Run(100*sfq.Picosecond, 0.02*sfq.Picosecond)
+	res, err := StandardJTL(6).Run(context.Background(), 100*sfq.Picosecond, 0.02*sfq.Picosecond)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,57 @@
+// The bounded numeric recovery path at the jsim boundary: a transient that
+// diverges (or goes non-finite) is re-run with a halved time step, at most
+// MaxDtRetries times. Halving dt is the classical fix for an RK4 step that
+// under-resolves the junction plasma oscillation, and bounding the retries
+// keeps the worst case deterministic: the same inputs always take the same
+// attempts and fail (or succeed) identically at every worker count. On the
+// non-retry path the first attempt is a plain RunChain at the caller's dt,
+// so healthy transients — every golden exhibit — are byte-identical with
+// or without this wrapper.
+
+package jsim
+
+import (
+	"context"
+	"sync/atomic"
+
+	"supernpu/internal/guard"
+)
+
+// maxDtRetries holds the configured retry bound; defaulted in init so the
+// zero value of the atomic is never observed.
+var maxDtRetries atomic.Int64
+
+func init() { maxDtRetries.Store(2) }
+
+// SetMaxDtRetries sets the per-transient bound on refined-dt retries taken
+// by RunChainRefined after a numeric failure (the CLIs expose it as
+// -max-retries). n < 0 is clamped to 0, which disables recovery entirely.
+// The bound is process-global configuration, set once at startup.
+func SetMaxDtRetries(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxDtRetries.Store(int64(n))
+}
+
+// MaxDtRetries returns the configured retry bound.
+func MaxDtRetries() int { return int(maxDtRetries.Load()) }
+
+// RunChainRefined integrates the chain like RunChain, recovering from
+// numeric failures (guard.IsNumeric: divergence or a non-finite state) by
+// halving dt and re-running, up to MaxDtRetries extra attempts. It returns
+// the dt that produced the result alongside RunChain's error, so callers
+// can tell a recovered run from a first-try success. Observers are
+// re-initialised on every attempt and end up holding only the final
+// attempt's stream. Cancellation, budget and input errors are never
+// retried — only numeric ones, which retrying at a finer step can fix.
+func (s *Solver) RunChainRefined(ctx context.Context, c *Chain, T, dt float64, obs ...Observer) (float64, error) {
+	for attempt := 0; ; attempt++ {
+		err := s.RunChain(ctx, c, T, dt, obs...)
+		if err == nil || !guard.IsNumeric(err) || attempt >= MaxDtRetries() {
+			return dt, err
+		}
+		guard.CountRetry()
+		dt /= 2
+	}
+}

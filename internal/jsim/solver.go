@@ -8,10 +8,12 @@
 package jsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"supernpu/internal/guard"
 	"supernpu/internal/sfq"
 )
 
@@ -81,10 +83,46 @@ type Solver struct {
 	k3p, k3v []float64
 	k4p, k4v []float64
 	tp, tv   []float64
+
+	// watch carries the run context so the RK4 loop can poll for
+	// cancellation every pollSteps steps without allocating. Arming
+	// against an uncancellable context is free, which keeps the
+	// zero-allocation steady state intact on that path.
+	watch guard.Watch
+	// budget, when set, bounds the total steps this solver may integrate;
+	// a run whose step count does not fit fails with ErrBudgetExceeded
+	// before integrating. nil means unlimited.
+	budget *guard.Budget
 }
 
 // NewSolver returns an empty Solver; buffers are sized on first use.
 func NewSolver() *Solver { return &Solver{} }
+
+// pollSteps is the cancellation poll interval of the RK4 loop: every
+// pollSteps steps the solver polls its watch, so a canceled transient
+// returns within pollSteps steps — microseconds of work — without the
+// loop ever allocating. Must be a power of two; the loop tests
+// step&(pollSteps-1).
+const pollSteps = 256
+
+// divergedVoltage is the per-node voltage bound beyond which a transient
+// is declared diverged: SFQ pulse amplitudes sit in the millivolt range,
+// so a solver state reaching a full volt is numerically blown up even
+// while still technically finite. The solver state carries φ̇ in rad/s
+// (V = Φ0/2π·φ̇), so the comparison happens against divergedPhiDot, the
+// same bound in state units. The check is a read-only comparison and
+// cannot perturb the trajectory of a healthy run.
+const (
+	divergedVoltage = 1.0
+	divergedPhiDot  = divergedVoltage / phi0over2pi
+)
+
+// SetBudget attaches a deterministic step budget to the solver; every run
+// charges its full step count against it up front and fails with an error
+// wrapping guard.ErrBudgetExceeded once the budget cannot cover a run.
+// A nil budget (the default) is unlimited. The budget may be shared
+// between solvers; charges are atomic.
+func (s *Solver) SetBudget(b *guard.Budget) { s.budget = b }
 
 // growF resizes a float scratch slice to n, reusing capacity when it can.
 func growF(s []float64, n int) []float64 {
@@ -248,9 +286,15 @@ func (s *Solver) derivCircuit(t float64, phi, v, dphi, dv []float64) {
 
 // integrate runs the RK4 loop, streaming each pre-update state to the
 // observers. chain selects derivChain vs derivCircuit; errFmt is the
-// divergence message format of the corresponding legacy solver.
+// divergence message format of the corresponding legacy solver, with a
+// trailing %w for the guard sentinel. Every pollSteps steps the loop polls
+// the solver's cancellation watch — allocation-free on every path, so the
+// zero-allocation steady state holds whether or not a watch is armed.
 func (s *Solver) integrate(steps, n int, dt float64, chain bool, errFmt string, obs []Observer) error {
 	for step := 0; step < steps; step++ {
+		if step&(pollSteps-1) == 0 && s.watch.Canceled() {
+			return s.watch.Err()
+		}
 		t := float64(step) * dt
 		for _, o := range obs {
 			o.Observe(step, t, s.phi, s.v)
@@ -294,7 +338,11 @@ func (s *Solver) integrate(steps, n int, dt float64, chain bool, errFmt string, 
 			s.v[i] += dt / 6 * (s.k1v[i] + 2*s.k2v[i] + 2*s.k3v[i] + s.k4v[i])
 			if math.IsNaN(s.phi[i]) || math.IsInf(s.phi[i], 0) {
 				mDiverged.Inc()
-				return fmt.Errorf(errFmt, t/sfq.Picosecond, i)
+				return fmt.Errorf(errFmt, t/sfq.Picosecond, i, guard.ErrNonFinite)
+			}
+			if v := s.v[i]; v > divergedPhiDot || v < -divergedPhiDot {
+				mDiverged.Inc()
+				return fmt.Errorf(errFmt, t/sfq.Picosecond, i, guard.ErrDiverged)
 			}
 		}
 	}
@@ -305,8 +353,13 @@ func (s *Solver) integrate(steps, n int, dt float64, chain bool, errFmt string, 
 
 // RunChain integrates the chain over duration T with fixed step dt,
 // streaming every sample to the observers. After a warm-up run, repeated
-// calls over same-sized chains allocate nothing (observers permitting).
-func (s *Solver) RunChain(c *Chain, T, dt float64, obs ...Observer) error {
+// calls over same-sized chains allocate nothing (observers permitting) —
+// provided ctx is uncancellable (context.Background()); a cancelable
+// context costs one watch registration per run, never per step. The loop
+// polls for cancellation every pollSteps steps and returns an error
+// satisfying errors.Is against guard.ErrCanceled (or
+// guard.ErrDeadlineExceeded) once ctx fires.
+func (s *Solver) RunChain(ctx context.Context, c *Chain, T, dt float64, obs ...Observer) error {
 	if dt <= 0 || T <= 0 {
 		return errors.New("jsim: T and dt must be positive")
 	}
@@ -315,18 +368,24 @@ func (s *Solver) RunChain(c *Chain, T, dt float64, obs ...Observer) error {
 		return errors.New("jsim: empty chain")
 	}
 	steps := stepCount(T, dt)
+	if err := s.budget.Spend(int64(steps)); err != nil {
+		return fmt.Errorf("jsim: chain transient of %d steps: %w", steps, err)
+	}
+	s.watch.Arm(ctx)
+	defer s.watch.Disarm()
 	s.prepNodes(c.Nodes)
 	s.indexSources(c.Sources, n)
 	info := RunInfo{Nodes: n, Steps: steps, Dt: dt, Bias: s.bias}
 	for _, o := range obs {
 		o.Init(info)
 	}
-	return s.integrate(steps, n, dt, true, "jsim: solution diverged at t=%.3gps node %d", obs)
+	return s.integrate(steps, n, dt, true, "jsim: solution diverged at t=%.3gps node %d: %w", obs)
 }
 
 // RunCircuit integrates the link-graph circuit, streaming every sample to
-// the observers (the Circuit counterpart of RunChain).
-func (s *Solver) RunCircuit(c *Circuit, T, dt float64, obs ...Observer) error {
+// the observers (the Circuit counterpart of RunChain, with the same
+// cancellation and budget semantics).
+func (s *Solver) RunCircuit(ctx context.Context, c *Circuit, T, dt float64, obs ...Observer) error {
 	if dt <= 0 || T <= 0 {
 		return errors.New("jsim: T and dt must be positive")
 	}
@@ -340,6 +399,11 @@ func (s *Solver) RunCircuit(c *Circuit, T, dt float64, obs ...Observer) error {
 		}
 	}
 	steps := stepCount(T, dt)
+	if err := s.budget.Spend(int64(steps)); err != nil {
+		return fmt.Errorf("jsim: circuit transient of %d steps: %w", steps, err)
+	}
+	s.watch.Arm(ctx)
+	defer s.watch.Disarm()
 	s.prepNodes(c.Nodes)
 	s.indexSources(c.Sources, n)
 	s.indexLinks(c.Links, n)
@@ -347,5 +411,5 @@ func (s *Solver) RunCircuit(c *Circuit, T, dt float64, obs ...Observer) error {
 	for _, o := range obs {
 		o.Init(info)
 	}
-	return s.integrate(steps, n, dt, false, "jsim: circuit diverged at t=%.3gps node %d", obs)
+	return s.integrate(steps, n, dt, false, "jsim: circuit diverged at t=%.3gps node %d: %w", obs)
 }

@@ -34,7 +34,7 @@ func TestStreamingObserversBitIdenticalToDense(t *testing.T) {
 	for name, ch := range diffChains() {
 		ch := ch
 		t.Run(name, func(t *testing.T) {
-			dense, err := ch.Run(T, dt)
+			dense, err := ch.Run(context.Background(), T, dt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -45,7 +45,7 @@ func TestStreamingObserversBitIdenticalToDense(t *testing.T) {
 				energy EnergyAccumulator
 				fin    FinalState
 			)
-			if err := ch.RunObserved(T, dt, &rec, &pulse, &energy, &fin); err != nil {
+			if err := ch.RunObserved(context.Background(), T, dt, &rec, &pulse, &energy, &fin); err != nil {
 				t.Fatal(err)
 			}
 			stream := rec.Result()
@@ -98,7 +98,7 @@ func TestCircuitStreamingBitIdenticalToDense(t *testing.T) {
 		dt = 0.05 * sfq.Picosecond
 	)
 	ckt := SplitterTree(3)
-	dense, err := ckt.Run(T, dt)
+	dense, err := ckt.Run(context.Background(), T, dt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestCircuitStreamingBitIdenticalToDense(t *testing.T) {
 		energy EnergyAccumulator
 		fin    FinalState
 	)
-	if err := ckt.RunObserved(T, dt, &rec, &pulse, &energy, &fin); err != nil {
+	if err := ckt.RunObserved(context.Background(), T, dt, &rec, &pulse, &energy, &fin); err != nil {
 		t.Fatal(err)
 	}
 	stream := rec.Result()
@@ -153,7 +153,7 @@ func TestSolverSteadyStateAllocs(t *testing.T) {
 	)
 	obs := []Observer{&pulse, &energy, &fin}
 	run := func() {
-		if err := s.RunChain(ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
+		if err := s.RunChain(context.Background(), ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -176,7 +176,7 @@ func TestSolverAllocsWithInstrumentationEnabled(t *testing.T) {
 	)
 	obs := []Observer{&pulse, &fin}
 	run := func() {
-		if err := s.RunChain(ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
+		if err := s.RunChain(context.Background(), ch, 120*sfq.Picosecond, 0.02*sfq.Picosecond, obs...); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -202,7 +202,7 @@ func TestSolverAllocsWithInstrumentationEnabled(t *testing.T) {
 // Margin bisection probes (solver + chain + final-state observer, re-biased
 // per probe) must also be allocation-free once warm.
 func TestMarginProbeSteadyStateAllocs(t *testing.T) {
-	p := newNominalProbe(NewSolver())
+	p := newNominalProbe(context.Background(), NewSolver())
 	p.works(0.7) // warm-up
 	if n := testing.AllocsPerRun(10, func() { p.works(0.7) }); n != 0 {
 		t.Fatalf("steady-state margin-probe allocations = %g per run, want 0", n)
@@ -268,11 +268,11 @@ func TestRunBatchMatchesSequential(t *testing.T) {
 		fins[i] = &FinalState{}
 		jobs[i] = BatchJob{Chain: ch, T: T, Dt: dt, Observers: []Observer{fins[i]}}
 	}
-	if err := RunBatch(jobs); err != nil {
+	if err := RunBatch(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	for i, ch := range chains {
-		dense, err := ch.Run(T, dt)
+		dense, err := ch.Run(context.Background(), T, dt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -302,7 +302,7 @@ func TestBiasMarginsFaultedBatch(t *testing.T) {
 		t.Fatalf("batch returned %d margins for %d models", len(batch), len(models))
 	}
 	for i, fm := range models {
-		single, err := BiasMarginsFaulted(fm)
+		single, err := BiasMarginsFaulted(context.Background(), fm)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -334,10 +334,10 @@ func TestSolverReuseNoStateLeak(t *testing.T) {
 	)
 	for run, ch := range sequence {
 		var reFin FinalState
-		if err := s.RunChain(ch, T, dt, &reFin); err != nil {
+		if err := s.RunChain(context.Background(), ch, T, dt, &reFin); err != nil {
 			t.Fatal(err)
 		}
-		dense, err := ch.Run(T, dt)
+		dense, err := ch.Run(context.Background(), T, dt)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -25,6 +25,9 @@
 //	                structs they fingerprint
 //	obsflow         reads of obs instrument or gate state inside the
 //	                modeling packages (observability is write-only there)
+//	ctxflow         context.Background/TODO calls in the modeling packages,
+//	                and exported looping entry points that fail to accept
+//	                the caller's context.Context
 //
 // False positives are silenced in place with a
 //
@@ -128,6 +131,7 @@ func Rules() []Rule {
 		&floatEqRule{},
 		&cacheKeyRule{},
 		&obsFlowRule{},
+		&ctxFlowRule{},
 	}
 }
 

@@ -103,6 +103,7 @@ func TestPanicBoundaryFixture(t *testing.T)  { checkFixture(t, "panicboundary", 
 func TestFloatEqFixture(t *testing.T)        { checkFixture(t, "floateq", "floateq") }
 func TestCacheKeyFixture(t *testing.T)       { checkFixture(t, "cachekey", "cachekey") }
 func TestObsFlowFixture(t *testing.T)        { checkFixture(t, "obsflow", "obsflow") }
+func TestCtxFlowFixture(t *testing.T)        { checkFixture(t, "ctxflow", "ctxflow") }
 
 // TestSuppression checks the //lint:allow comment forms: standalone
 // above, inline, comma lists, and that allowing one rule does not silence

@@ -1,0 +1,108 @@
+// The ctxflow rule: cancellation must flow through the modeling packages,
+// never originate inside them. The resilience layer (internal/guard) only
+// works if every long-running loop polls a context that the caller — the
+// CLI's signal handler, the server's request deadline — actually controls.
+// A modeling function that manufactures its own root context with
+// context.Background() or context.TODO() cuts that wire: the loop below it
+// becomes uncancellable no matter what the caller does. Likewise an
+// exported entry point that loops over steps, cycles or sweep points while
+// calling context-aware callees, but does not itself accept a
+// context.Context, strands its callers one hop away from cancellation.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxFlowRule enforces the two wiring contracts in the modeling packages:
+// no context.Background()/context.TODO() calls, and exported functions that
+// loop while invoking context-aware callees must accept a context.Context
+// themselves.
+type ctxFlowRule struct{}
+
+func (ctxFlowRule) Name() string { return "ctxflow" }
+func (ctxFlowRule) Doc() string {
+	return "modeling packages must thread the caller's context: no context.Background/TODO, and exported looping entry points accept a ctx"
+}
+func (ctxFlowRule) Severity() Severity { return Error }
+
+// isContextType reports whether t is the context.Context interface type.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// signatureAcceptsContext reports whether any parameter (receiver excluded)
+// of sig is a context.Context.
+func signatureAcceptsContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r ctxFlowRule) Check(p *Pass) {
+	if !modelingPackages[p.Pkg.Name] {
+		return
+	}
+	// Contract 1: no manufactured root contexts anywhere in the package —
+	// function bodies, package-level variable initialisers, methods alike.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch calleeFullName(p.Pkg.Info, call) {
+			case "context.Background":
+				p.Reportf(call, "modeling package %s calls context.Background(); accept the caller's context so the loop below stays cancellable", p.Pkg.Name)
+			case "context.TODO":
+				p.Reportf(call, "modeling package %s calls context.TODO(); accept the caller's context so the loop below stays cancellable", p.Pkg.Name)
+			}
+			return true
+		})
+	}
+	// Contract 2: an exported function that loops and calls context-aware
+	// callees is a long-running entry point; it must accept a ctx itself or
+	// its callers can never cancel it.
+	eachFuncDecl(p.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil || !fd.Name.IsExported() {
+			return
+		}
+		fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		if signatureAcceptsContext(fn.Type().(*types.Signature)) {
+			return
+		}
+		loops, ctxCallee := false, ""
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = true
+			case *ast.CallExpr:
+				if ctxCallee != "" {
+					return true
+				}
+				if callee := calleeFunc(p.Pkg.Info, n); callee != nil {
+					if sig, ok := callee.Type().(*types.Signature); ok && signatureAcceptsContext(sig) {
+						ctxCallee = callee.Name()
+					}
+				}
+			}
+			return true
+		})
+		if loops && ctxCallee != "" {
+			p.Reportf(fd, "exported %s loops while calling the context-aware %s but does not accept a context.Context; thread the caller's ctx through so the sweep stays cancellable", fd.Name.Name, ctxCallee)
+		}
+	})
+}

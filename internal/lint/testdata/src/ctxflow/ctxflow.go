@@ -1,0 +1,96 @@
+// Fixture for the ctxflow rule. The package clause says jsim, so the rule
+// treats this as a modeling package: manufactured root contexts must be
+// flagged wherever they appear, and exported entry points that loop while
+// calling context-aware callees must accept a context.Context themselves.
+package jsim
+
+import "context"
+
+// stashed is a manufactured root context at package scope — flagged even
+// outside a function body.
+var stashed = context.TODO() // want "context.TODO"
+
+// simulateOne is a context-aware callee: the presence of its ctx parameter
+// is what marks the exported loops below as cancellable-one-hop-down.
+func simulateOne(ctx context.Context, i int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return i
+}
+
+// pureStep has no context parameter; loops over it need no threading.
+func pureStep(i int) int { return i * i }
+
+// BadBackground manufactures its own root context inside the sweep loop, so
+// the caller can never cancel it. Both contracts fire: the Background call
+// on its line, the missing ctx parameter on the declaration.
+func BadBackground(n int) int { // want "does not accept a context.Context"
+	total := 0
+	for i := 0; i < n; i++ {
+		total += simulateOne(context.Background(), i) // want "context.Background"
+	}
+	return total
+}
+
+// BadStashed loops over cycles feeding a stored context into the aware
+// callee — the declaration must be flagged even though no Background call
+// appears in the body.
+func BadStashed(n int) int { // want "does not accept a context.Context"
+	total := 0
+	for i := 0; i < n; i++ {
+		total += simulateOne(stashed, i)
+	}
+	return total
+}
+
+// BadRange shows the range-loop shape of the same defect.
+func BadRange(xs []int) int { // want "does not accept a context.Context"
+	total := 0
+	for _, x := range xs {
+		total += simulateOne(stashed, x)
+	}
+	return total
+}
+
+// BadBackgroundNoLoop has no loop, so only the manufactured-context
+// contract fires.
+func BadBackgroundNoLoop() int {
+	return simulateOne(context.Background(), 1) // want "context.Background"
+}
+
+// GoodThreaded is the compliant shape: the caller's context flows through
+// the loop into the aware callee.
+func GoodThreaded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += simulateOne(ctx, i)
+	}
+	return total
+}
+
+// GoodPureLoop loops over pure gate math; with no context-aware callee in
+// sight there is nothing to thread.
+func GoodPureLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += pureStep(i)
+	}
+	return total
+}
+
+// goodUnexported is an internal helper: the entry-point contract applies to
+// the exported surface only (the exported caller already owns the ctx).
+func goodUnexported(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += simulateOne(ctx, i)
+	}
+	return total
+}
+
+// GoodNoLoop calls an aware callee exactly once; a single bounded call is
+// not a long-running loop and needs no parameter of its own.
+func GoodNoLoop() int {
+	return simulateOne(stashed, 1)
+}

@@ -1,6 +1,7 @@
 package npusim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -25,11 +26,11 @@ func testNet(t *testing.T) workload.Network {
 
 func TestSimulateFaultedDisabledSharesNominalCache(t *testing.T) {
 	net := testNet(t)
-	nominal, err := Simulate(arch.SuperNPU(), net, 1)
+	nominal, err := Simulate(context.Background(), arch.SuperNPU(), net, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	same, err := SimulateFaulted(arch.SuperNPU(), net, 1, nil)
+	same, err := SimulateFaulted(context.Background(), arch.SuperNPU(), net, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +45,11 @@ func TestSimulateFaultedDisabledSharesNominalCache(t *testing.T) {
 func TestSimulateFaultedChargesAndDegrades(t *testing.T) {
 	net := testNet(t)
 	fm := &faultinject.Model{Seed: 42, IcSpread: 0.05, PulseDrop: 1e-6, BitFlip: 1e-8, MarginErosion: 0.1}
-	nominal, err := Simulate(arch.SuperNPU(), net, 1)
+	nominal, err := Simulate(context.Background(), arch.SuperNPU(), net, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulted, err := SimulateFaulted(arch.SuperNPU(), net, 1, fm)
+	faulted, err := SimulateFaulted(context.Background(), arch.SuperNPU(), net, 1, fm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestSimulateFaultedByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	for _, w := range []int{1, 4} {
 		parallel.SetWorkers(w)
 		simcache.ClearAll() // force a genuine re-simulation per worker count
-		r, err := SimulateFaulted(arch.SuperNPU(), net, 2, fm)
+		r, err := SimulateFaulted(context.Background(), arch.SuperNPU(), net, 2, fm)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,13 +94,13 @@ func TestSimulateFaultedByteIdenticalAcrossWorkerCounts(t *testing.T) {
 func TestSimulateFaultedSimFailReturnsFaultError(t *testing.T) {
 	net := testNet(t)
 	fm := &faultinject.Model{Seed: 1, SimFail: 1}
-	_, err := SimulateFaulted(arch.SuperNPU(), net, 1, fm)
+	_, err := SimulateFaulted(context.Background(), arch.SuperNPU(), net, 1, fm)
 	var fe *faultinject.FaultError
 	if !errors.As(err, &fe) {
 		t.Fatalf("got %v, want *faultinject.FaultError", err)
 	}
 	// The error is deterministic: a second call renders identically.
-	_, err2 := SimulateFaulted(arch.SuperNPU(), net, 1, fm)
+	_, err2 := SimulateFaulted(context.Background(), arch.SuperNPU(), net, 1, fm)
 	if err2 == nil || err.Error() != err2.Error() {
 		t.Fatalf("fault error not byte-stable: %v vs %v", err, err2)
 	}

@@ -16,8 +16,11 @@
 package npusim
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"supernpu/internal/guard"
 
 	"supernpu/internal/arch"
 	"supernpu/internal/estimator"
@@ -225,12 +228,17 @@ func (r *Report) PrepFraction() float64 {
 // cyclesPerByte converts DRAM bytes into NPU cycles at frequency f.
 func cyclesPerByte(f, bandwidth float64) float64 { return f / bandwidth }
 
-// simulateLayer runs the weight-mapping loop of one layer.
-func simulateLayer(cfg arch.Config, l workload.Layer, batch int, cpb float64) LayerStats {
+// simulateLayer runs the weight-mapping loop of one layer, polling for
+// cancellation once per weight mapping so a canceled simulation stops
+// mid-layer instead of charging the full tile walk.
+func simulateLayer(ctx context.Context, cfg arch.Config, l workload.Layer, batch int, cpb float64) (LayerStats, error) {
 	st := LayerStats{Layer: l}
 	if l.Kind == workload.Pool {
-		return st
+		return st, nil
 	}
+	var w guard.Watch
+	w.Arm(ctx)
+	defer w.Disarm()
 
 	ifBuf, outBuf := cfg.IfmapBuf(), cfg.OutputBuf()
 	fits := layerFits(cfg, l, batch)
@@ -238,6 +246,9 @@ func simulateLayer(cfg arch.Config, l workload.Layer, batch int, cpb float64) La
 	peStages := cfg.PECfg().PipelineStages()
 
 	for _, t := range mapper.Tiles(l, cfg.ArrayHeight, cfg.ArrayWidth, cfg.Registers) {
+		if w.Canceled() {
+			return LayerStats{}, w.Err()
+		}
 		st.Mappings++
 
 		// Computation: the array streams B·E·F pixels, each presented
@@ -277,7 +288,7 @@ func simulateLayer(cfg arch.Config, l workload.Layer, batch int, cpb float64) La
 
 		st.MACs += t.MACs(batch, ef)
 	}
-	return st
+	return st, nil
 }
 
 // Simulate runs the network at the given batch size on the design and
@@ -287,7 +298,9 @@ func simulateLayer(cfg arch.Config, l workload.Layer, batch int, cpb float64) La
 // same inputs return one shared *Report, which callers must treat as
 // read-only. Validation and batch resolution happen inside the memoised
 // computation, so a cache hit costs only the key construction and lookup.
-func Simulate(cfg arch.Config, net workload.Network, batch int) (*Report, error) {
+// Cancellation of ctx aborts the per-layer fan-out and the per-tile mapping
+// loop; a canceled computation is evicted from the cache, not memoised.
+func Simulate(ctx context.Context, cfg arch.Config, net workload.Network, batch int) (*Report, error) {
 	if batch < 0 {
 		return nil, fmt.Errorf("npusim: batch %d must be positive", batch)
 	}
@@ -301,9 +314,9 @@ func Simulate(cfg arch.Config, net workload.Network, batch int) (*Report, error)
 		if batch == 0 {
 			// Re-enter through the cache so the batch-0 entry and the
 			// resolved-batch entry share one computed report.
-			return Simulate(cfg, net, MaxBatch(cfg, net))
+			return Simulate(ctx, cfg, net, MaxBatch(cfg, net))
 		}
-		return simulate(cfg, net, batch, nil)
+		return simulate(ctx, cfg, net, batch, nil)
 	})
 }
 
@@ -316,9 +329,9 @@ func Simulate(cfg arch.Config, net workload.Network, batch int) (*Report, error)
 // network, batch, fault key); a disabled model shares Simulate's cache.
 // Every fault draw is site-keyed, so the report is byte-identical across
 // runs and worker counts.
-func SimulateFaulted(cfg arch.Config, net workload.Network, batch int, fm *faultinject.Model) (*Report, error) {
+func SimulateFaulted(ctx context.Context, cfg arch.Config, net workload.Network, batch int, fm *faultinject.Model) (*Report, error) {
 	if !fm.Enabled() {
-		return Simulate(cfg, net, batch)
+		return Simulate(ctx, cfg, net, batch)
 	}
 	if batch < 0 {
 		return nil, fmt.Errorf("npusim: batch %d must be positive", batch)
@@ -331,12 +344,12 @@ func SimulateFaulted(cfg arch.Config, net workload.Network, batch int, fm *fault
 			return nil, err
 		}
 		if batch == 0 {
-			return SimulateFaulted(cfg, net, MaxBatch(cfg, net), fm)
+			return SimulateFaulted(ctx, cfg, net, MaxBatch(cfg, net), fm)
 		}
 		if site := simSite(cfg, net, batch); fm.FailsSimulation(site) {
 			return nil, &faultinject.FaultError{Site: site}
 		}
-		return simulate(cfg, net, batch, fm)
+		return simulate(ctx, cfg, net, batch, fm)
 	})
 }
 
@@ -352,8 +365,8 @@ func simSite(cfg arch.Config, net workload.Network, batch int) string {
 // non-nil enabled fault model charges per-layer pulse-drop retries and
 // counts datapath bit flips; every draw is keyed by the layer's own site,
 // so the fan-out order cannot perturb the result.
-func simulate(cfg arch.Config, net workload.Network, batch int, fm *faultinject.Model) (*Report, error) {
-	est, err := estimator.EstimateFaulted(cfg, fm)
+func simulate(ctx context.Context, cfg arch.Config, net workload.Network, batch int, fm *faultinject.Model) (*Report, error) {
+	est, err := estimator.EstimateFaulted(ctx, cfg, fm)
 	if err != nil {
 		return nil, err
 	}
@@ -383,9 +396,12 @@ func simulate(cfg arch.Config, net workload.Network, batch int, fm *faultinject.
 		}
 	}
 	site := simSite(cfg, net, batch)
-	outs, err := parallel.Map(len(jobs), func(k int) (layerOut, error) {
+	outs, err := parallel.MapContext(ctx, len(jobs), func(ctx context.Context, k int) (layerOut, error) {
 		j := jobs[k]
-		st := simulateLayer(cfg, j.l, batch, cpb)
+		st, err := simulateLayer(ctx, cfg, j.l, batch, cpb)
+		if err != nil {
+			return layerOut{}, err
+		}
 
 		// Layer input delivery: the first compute layer streams its
 		// inputs from DRAM; later layers transfer the previous output
@@ -459,6 +475,15 @@ func simulate(cfg arch.Config, net workload.Network, batch int, fm *faultinject.
 	rep.PEUtilization = rep.Throughput / est.PeakMACs
 	rep.Power = dynamicPower(cfg, est, rep)
 	rep.DynamicPower = rep.Power.Total()
+	// A report with a non-finite headline number means the model itself
+	// blew up (zero frequency, empty network); fail typed instead of
+	// letting NaNs leak into exhibits and serving responses.
+	for _, v := range [...]float64{rep.Time, rep.Throughput, rep.PEUtilization, rep.DynamicPower} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("npusim: %s/%s/b%d produced a non-finite report: %w",
+				cfg.Name, net.Name, batch, guard.ErrNonFinite)
+		}
+	}
 	return rep, nil
 }
 

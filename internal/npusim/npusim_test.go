@@ -1,6 +1,7 @@
 package npusim
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -12,7 +13,7 @@ import (
 
 func sim(t *testing.T, cfg arch.Config, net workload.Network, batch int) *Report {
 	t.Helper()
-	r, err := Simulate(cfg, net, batch)
+	r, err := Simulate(context.Background(), cfg, net, batch)
 	if err != nil {
 		t.Fatalf("%s on %s: %v", net.Name, cfg.Name, err)
 	}
@@ -230,13 +231,13 @@ func TestTable3ChipPower(t *testing.T) {
 func TestSimulateValidation(t *testing.T) {
 	bad := arch.Baseline()
 	bad.ArrayHeight = 0
-	if _, err := Simulate(bad, workload.VGG16(), 1); err == nil {
+	if _, err := Simulate(context.Background(), bad, workload.VGG16(), 1); err == nil {
 		t.Error("Simulate must reject invalid designs")
 	}
-	if _, err := Simulate(arch.Baseline(), workload.Network{Name: "x"}, 1); err == nil {
+	if _, err := Simulate(context.Background(), arch.Baseline(), workload.Network{Name: "x"}, 1); err == nil {
 		t.Error("Simulate must reject invalid networks")
 	}
-	if _, err := Simulate(arch.Baseline(), workload.VGG16(), -3); err == nil {
+	if _, err := Simulate(context.Background(), arch.Baseline(), workload.VGG16(), -3); err == nil {
 		t.Error("Simulate must reject negative batches")
 	}
 }
@@ -249,7 +250,7 @@ func TestMACConservationProperty(t *testing.T) {
 		cfg := arch.Designs()[int(dSel)%4]
 		net := nets[int(nSel)%len(nets)]
 		batch := 1 + int(b8)%4
-		r, err := Simulate(cfg, net, batch)
+		r, err := Simulate(context.Background(), cfg, net, batch)
 		if err != nil {
 			return false
 		}
@@ -266,7 +267,7 @@ func TestReportInvariantsProperty(t *testing.T) {
 	f := func(dSel, nSel uint8) bool {
 		cfg := arch.Designs()[int(dSel)%4]
 		net := nets[int(nSel)%len(nets)]
-		r, err := Simulate(cfg, net, 0)
+		r, err := Simulate(context.Background(), cfg, net, 0)
 		if err != nil {
 			return false
 		}

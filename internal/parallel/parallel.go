@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"supernpu/internal/guard"
 	"supernpu/internal/obs"
 )
 
@@ -123,7 +124,9 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 // MapContext is Map with context-aware scheduling: between jobs, workers
 // observe ctx and stop claiming new indices once it is cancelled. When the
 // run is cut short by cancellation (and no job failed first), MapContext
-// returns ctx's error.
+// returns ctx's error lifted into the guard taxonomy, so callers at any
+// distance classify it with errors.Is(err, guard.ErrCanceled) (or
+// guard.ErrDeadlineExceeded).
 func MapContext[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	return MapLocalContext(ctx, n, func() struct{} { return struct{}{} },
 		func(ctx context.Context, _ struct{}, i int) (T, error) {
@@ -152,6 +155,15 @@ func ForEachLocal[L any](n int, newLocal func() L, fn func(local L, i int) error
 	return err
 }
 
+// ForEachLocalContext is ForEachLocal with context-aware scheduling (see
+// MapLocalContext).
+func ForEachLocalContext[L any](ctx context.Context, n int, newLocal func() L, fn func(ctx context.Context, local L, i int) error) error {
+	_, err := MapLocalContext(ctx, n, newLocal, func(ctx context.Context, local L, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, local, i)
+	})
+	return err
+}
+
 // MapLocalContext is the full-featured engine under Map, MapContext and
 // MapLocal: context-aware scheduling, per-worker local state, fail-fast
 // claiming and the lowest-failing-index error contract. Locals are created
@@ -175,7 +187,7 @@ func MapLocalContext[L, T any](ctx context.Context, n int, newLocal func() L, fn
 	if w <= 1 {
 		local := newLocal()
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
+			if err := guard.CtxErr(ctx); err != nil {
 				return nil, err
 			}
 			if !submitted.IsZero() {
@@ -184,7 +196,7 @@ func MapLocalContext[L, T any](ctx context.Context, n int, newLocal func() L, fn
 			poolTasks.Inc()
 			v, err := call(ctx, fn, local, i)
 			if err != nil {
-				return nil, err
+				return nil, guard.WrapCancellation(err)
 			}
 			out[i] = v
 		}
@@ -222,11 +234,11 @@ func MapLocalContext[L, T any](ctx context.Context, n int, newLocal func() L, fn
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, guard.WrapCancellation(err)
 		}
 	}
-	if err := ctx.Err(); err != nil && int(next.Load()) < n {
-		return nil, err
+	if ctx.Err() != nil && int(next.Load()) < n {
+		return nil, guard.CtxErr(ctx)
 	}
 	return out, nil
 }

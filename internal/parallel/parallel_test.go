@@ -9,6 +9,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"supernpu/internal/guard"
+	"supernpu/internal/guard/leaktest"
 )
 
 func TestMapPreservesOrder(t *testing.T) {
@@ -366,5 +369,96 @@ func TestMapLocalRecoversPanickingJob(t *testing.T) {
 	}
 	if pe.Value != "local meltdown" {
 		t.Fatalf("panic value = %v", pe.Value)
+	}
+}
+
+func TestCancellationErrorsCarryGuardTaxonomy(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		defer SetWorkers(0)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := MapContext(ctx, 50, func(ctx context.Context, i int) (int, error) {
+			return i, nil
+		})
+		if !errors.Is(err, guard.ErrCanceled) {
+			t.Errorf("workers=%d: errors.Is(err, guard.ErrCanceled) = false for %v", w, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: wrap lost context.Canceled: %v", w, err)
+		}
+	}
+}
+
+func TestDeadlineErrorsCarryGuardTaxonomy(t *testing.T) {
+	SetWorkers(2)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := ForEachContext(ctx, 50, func(ctx context.Context, i int) error { return nil })
+	if !errors.Is(err, guard.ErrDeadlineExceeded) {
+		t.Errorf("errors.Is(err, guard.ErrDeadlineExceeded) = false for %v", err)
+	}
+}
+
+// A job that returns the raw context error (the usual shape when fn itself
+// polls ctx) is lifted into the taxonomy on the way out of the pool.
+func TestJobReturnedCtxErrGetsWrapped(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	_, err := MapContext(ctx, 10, func(ctx context.Context, i int) (int, error) {
+		once.Do(cancel)
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("raw ctx.Err() from a job not lifted: %v", err)
+	}
+}
+
+func TestForEachLocalContextVisitsEveryIndex(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	var visited [50]atomic.Bool
+	err := ForEachLocalContext(context.Background(), 50, func() int { return 0 },
+		func(ctx context.Context, local int, i int) error {
+			visited[i].Store(true)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range visited {
+		if !visited[i].Load() {
+			t.Fatalf("index %d never visited", i)
+		}
+	}
+}
+
+// The pool promises complete shutdown: after Map returns — success, error,
+// or cancellation — no worker goroutine survives.
+func TestPoolShutdownLeavesNoGoroutines(t *testing.T) {
+	leaktest.Check(t)
+	SetWorkers(8)
+	defer SetWorkers(0)
+
+	if _, err := Map(64, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Map(64, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	}); err == nil {
+		t.Fatal("expected error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MapContext(ctx, 64, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	}); err == nil {
+		t.Fatal("expected cancellation error")
 	}
 }

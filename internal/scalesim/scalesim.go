@@ -10,8 +10,11 @@
 package scalesim
 
 import (
+	"context"
 	"fmt"
+	"math"
 
+	"supernpu/internal/guard"
 	"supernpu/internal/simcache"
 	"supernpu/internal/workload"
 )
@@ -81,8 +84,10 @@ type Report struct {
 // memoised by (config, network, batch); repeated calls return one shared
 // *Report, which callers must treat as read-only. Validation and batch
 // resolution happen inside the memoised computation, so a cache hit costs
-// only the key construction and lookup.
-func Simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
+// only the key construction and lookup. Cancellation of ctx aborts the
+// mapping loop between layers; a canceled computation is evicted from the
+// cache, not memoised.
+func Simulate(ctx context.Context, cfg Config, net workload.Network, batch int) (*Report, error) {
 	if batch < 0 {
 		return nil, fmt.Errorf("scalesim: batch %d must be positive", batch)
 	}
@@ -94,19 +99,26 @@ func Simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
 		if batch == 0 {
 			// Re-enter through the cache so the batch-0 entry and the
 			// resolved-batch entry share one computed report.
-			return Simulate(cfg, net, cfg.MaxBatch(net))
+			return Simulate(ctx, cfg, net, cfg.MaxBatch(net))
 		}
-		return simulate(cfg, net, batch)
+		return simulate(ctx, cfg, net, batch)
 	})
 }
 
-// simulate is the uncached mapping loop.
-func simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
+// simulate is the uncached mapping loop, polling for cancellation once per
+// layer.
+func simulate(ctx context.Context, cfg Config, net workload.Network, batch int) (*Report, error) {
 	rep := &Report{Config: cfg, Network: net.Name, Batch: batch}
 	cpb := cfg.Frequency / cfg.Bandwidth
 	h, w := cfg.ArrayHeight, cfg.ArrayWidth
 
+	var watch guard.Watch
+	watch.Arm(ctx)
+	defer watch.Disarm()
 	for i, l := range net.Layers {
+		if watch.Canceled() {
+			return nil, watch.Err()
+		}
 		if !l.ComputeLayer() {
 			continue
 		}
@@ -161,5 +173,11 @@ func simulate(cfg Config, net workload.Network, batch int) (*Report, error) {
 	rep.Time = float64(rep.TotalCycles) / cfg.Frequency
 	rep.Throughput = float64(rep.MACs) / rep.Time
 	rep.PEUtilization = rep.Throughput / cfg.PeakMACs()
+	for _, v := range [...]float64{rep.Time, rep.Throughput, rep.PEUtilization} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("scalesim: %s/%s/b%d produced a non-finite report: %w",
+				cfg.Name, net.Name, batch, guard.ErrNonFinite)
+		}
+	}
 	return rep, nil
 }

@@ -1,6 +1,7 @@
 package scalesim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -34,7 +35,7 @@ func TestTPUEffectivePerformance(t *testing.T) {
 	// The TPU runs the CNNs at a healthy but partial utilization: tens of
 	// percent for conv-heavy nets, near-zero for depthwise MobileNet.
 	for _, net := range workload.All() {
-		r, err := Simulate(TPU(), net, 0)
+		r, err := Simulate(context.Background(), TPU(), net, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,21 +43,21 @@ func TestTPUEffectivePerformance(t *testing.T) {
 			t.Errorf("%s: TPU utilization = %.1f%% implausible", net.Name, r.PEUtilization*100)
 		}
 	}
-	res, _ := Simulate(TPU(), workload.ResNet50(), 0)
+	res, _ := Simulate(context.Background(), TPU(), workload.ResNet50(), 0)
 	if res.PEUtilization < 0.2 {
 		t.Errorf("ResNet50 on TPU = %.1f%% util, want tens of percent", res.PEUtilization*100)
 	}
-	mob, _ := Simulate(TPU(), workload.MobileNet(), 0)
+	mob, _ := Simulate(context.Background(), TPU(), workload.MobileNet(), 0)
 	if mob.PEUtilization > 0.05 {
 		t.Errorf("MobileNet on TPU = %.1f%% util, want ≪5%% (depthwise-bound)", mob.PEUtilization*100)
 	}
 }
 
 func TestSimulateValidation(t *testing.T) {
-	if _, err := Simulate(TPU(), workload.Network{Name: "x"}, 1); err == nil {
+	if _, err := Simulate(context.Background(), TPU(), workload.Network{Name: "x"}, 1); err == nil {
 		t.Error("Simulate must reject invalid networks")
 	}
-	if _, err := Simulate(TPU(), workload.VGG16(), -1); err == nil {
+	if _, err := Simulate(context.Background(), TPU(), workload.VGG16(), -1); err == nil {
 		t.Error("Simulate must reject negative batches")
 	}
 }
@@ -67,7 +68,7 @@ func TestTPUInvariantsProperty(t *testing.T) {
 	f := func(nSel, b8 uint8) bool {
 		net := nets[int(nSel)%len(nets)]
 		batch := 1 + int(b8)%8
-		r, err := Simulate(TPU(), net, batch)
+		r, err := Simulate(context.Background(), TPU(), net, batch)
 		if err != nil {
 			return false
 		}
@@ -87,8 +88,8 @@ func TestBandwidthMonotonicityProperty(t *testing.T) {
 		lo := TPU()
 		hi := TPU()
 		hi.Bandwidth *= 1 + float64(mult%8)
-		rl, err1 := Simulate(lo, net, 4)
-		rh, err2 := Simulate(hi, net, 4)
+		rl, err1 := Simulate(context.Background(), lo, net, 4)
+		rh, err2 := Simulate(context.Background(), hi, net, 4)
 		if err1 != nil || err2 != nil {
 			return false
 		}

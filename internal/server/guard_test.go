@@ -1,0 +1,206 @@
+// Tests for the service's resilience surface: the divergence circuit
+// breaker on /v1/evaluate, the backlog-derived Retry-After hint and the
+// cancellation taxonomy on the request path.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"supernpu/internal/guard"
+)
+
+// tripBreaker feeds the server's breaker the configured number of numeric
+// failures for key, as if that many consecutive simulations had diverged.
+func tripBreaker(s *Server, key string, n int) {
+	err := fmt.Errorf("simulated failure: %w", guard.ErrDiverged)
+	for i := 0; i < n; i++ {
+		s.breaker.Record(key, err)
+	}
+}
+
+// TestEvaluateBreakerServesDegraded trips the divergence breaker for one
+// design and verifies /v1/evaluate short-circuits onto the analytical
+// roofline — 200 with "degraded": true and the breaker named in the reason —
+// while other designs keep simulating normally.
+func TestEvaluateBreakerServesDegraded(t *testing.T) {
+	s, ts := newTestServer(t, Options{BreakerThreshold: 3, BreakerProbeEvery: 1 << 20})
+	tripBreaker(s, "SuperNPU", 3)
+	if !s.breaker.Open("SuperNPU") {
+		t.Fatal("breaker not open after threshold failures")
+	}
+
+	status, body, _ := post(t, ts.URL+"/v1/evaluate",
+		`{"design":"SuperNPU","workload":"ResNet50","batch":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("evaluate with open breaker = %d %s, want 200", status, body)
+	}
+	var got EvaluationResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded || !strings.Contains(got.DegradedReason, "breaker open") {
+		t.Fatalf("want degraded response naming the breaker, got %+v", got)
+	}
+	if got.Throughput <= 0 {
+		t.Fatalf("analytical fallback produced a degenerate evaluation: %+v", got)
+	}
+
+	// An untripped design still gets the full simulation.
+	status, body, _ = post(t, ts.URL+"/v1/evaluate",
+		`{"design":"Baseline","workload":"AlexNet","batch":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("evaluate of untripped design = %d %s", status, body)
+	}
+	var other EvaluationResponse
+	if err := json.Unmarshal(body, &other); err != nil {
+		t.Fatal(err)
+	}
+	if other.Degraded {
+		t.Fatalf("untripped design served degraded: %+v", other)
+	}
+}
+
+// TestEvaluateBreakerRecoversViaProbe opens the breaker, then lets the
+// half-open probe through: with probeEvery=1 the very next request runs the
+// real (healthy) simulation, which closes the breaker again.
+func TestEvaluateBreakerRecoversViaProbe(t *testing.T) {
+	s, ts := newTestServer(t, Options{BreakerThreshold: 2, BreakerProbeEvery: 1})
+	tripBreaker(s, "SuperNPU", 2)
+
+	status, body, _ := post(t, ts.URL+"/v1/evaluate",
+		`{"design":"SuperNPU","workload":"ResNet50","batch":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("probe request = %d %s", status, body)
+	}
+	var got EvaluationResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded {
+		t.Fatalf("probe request served degraded: %+v", got)
+	}
+	if s.breaker.Open("SuperNPU") {
+		t.Fatal("breaker still open after a successful probe")
+	}
+}
+
+// TestRetryAfterDerivation pins the backlog → Retry-After mapping: at least
+// one drain round, growing in whole rounds with queue depth, capped at a
+// minute.
+func TestRetryAfterDerivation(t *testing.T) {
+	s := New(Options{MaxConcurrent: 4, Logger: quiet})
+	cases := []struct {
+		queued int64
+		want   int
+	}{
+		{0, 1}, {1, 1}, {4, 1}, {5, 2}, {8, 2}, {9, 3}, {400, 60}, {1 << 40, 60},
+	}
+	for _, c := range cases {
+		if got := s.retryAfter(c.queued); got != c.want {
+			t.Errorf("retryAfter(%d) = %d, want %d", c.queued, got, c.want)
+		}
+	}
+	prev := 0
+	for q := int64(0); q <= 64; q += 4 {
+		got := s.retryAfter(q)
+		if got < prev {
+			t.Fatalf("retryAfter not monotone: retryAfter(%d) = %d < %d", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestRetryAfterGrowsUnderLoad drives the limiter with a blocking handler —
+// one request running, the queue full — and asserts the shed response's
+// Retry-After reflects the real backlog (queued/slots drain rounds) instead
+// of the historical constant 1.
+func TestRetryAfterGrowsUnderLoad(t *testing.T) {
+	const depth = 6
+	s := New(Options{MaxConcurrent: 1, QueueDepth: depth, Timeout: -1, Logger: quiet})
+	block := make(chan struct{})
+	started := make(chan struct{}, depth+2)
+	ts := httptest.NewServer(s.limit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-block
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer ts.Close()
+	defer close(block)
+
+	do := func() {
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	go do() // occupies the single work slot
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never started")
+	}
+	for i := 0; i < depth; i++ {
+		go do()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %d of %d", s.queued.Load(), depth)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-bound request = %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if want := depth; ra != want {
+		t.Fatalf("Retry-After = %d with %d queued and 1 slot, want %d", ra, depth, want)
+	}
+}
+
+// TestEvaluateCanceledRequestIs503 serves an evaluate request whose context
+// is already dead — the shape every request takes once its TimeoutHandler
+// budget expires or its client hangs up. The cancellation must surface as
+// 503 with the taxonomy's message, not as a degraded 200 (the design did
+// nothing wrong) and not as a 4xx/5xx misclassification.
+func TestEvaluateCanceledRequestIs503(t *testing.T) {
+	s := New(Options{Logger: quiet})
+	before := s.metrics.degraded.Value()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/evaluate",
+		strings.NewReader(`{"design":"SuperNPU","workload":"GoogLeNet","batch":3}`))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.handleEvaluate(rec, req)
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled evaluate = %d %s, want 503", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "cancel") {
+		t.Fatalf("503 body does not name the cancellation: %s", rec.Body)
+	}
+	if after := s.metrics.degraded.Value(); after != before {
+		t.Fatalf("cancellation counted as degraded (%d -> %d)", before, after)
+	}
+}

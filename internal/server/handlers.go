@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"runtime/debug"
@@ -13,6 +14,7 @@ import (
 	"supernpu/internal/core"
 	"supernpu/internal/estimator"
 	"supernpu/internal/faultinject"
+	"supernpu/internal/guard"
 	"supernpu/internal/obs"
 	"supernpu/internal/parallel"
 	"supernpu/internal/simcache"
@@ -35,21 +37,33 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 // evaluateSafely runs the faulted evaluation with panics converted into
 // errors, so a simulation that blows up outside the worker pool still reaches
-// the degraded-response path instead of the 500 recovery middleware.
-func evaluateSafely(d core.Design, net workload.Network, batch int, fm *faultinject.Model) (ev *core.Evaluation, err error) {
+// the degraded-response path instead of the 500 recovery middleware. The
+// context carries the per-request deadline: http.TimeoutHandler attaches its
+// budget to r.Context(), so the simulators' cancellation checkpoints stop
+// the work shortly after the response deadline passes instead of running on
+// as abandoned goroutines.
+func evaluateSafely(ctx context.Context, d core.Design, net workload.Network, batch int, fm *faultinject.Model) (ev *core.Evaluation, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &parallel.PanicError{Value: v, Stack: debug.Stack()}
 		}
 	}()
-	return core.EvaluateFaulted(d, net, batch, fm)
+	return core.EvaluateFaulted(ctx, d, net, batch, fm)
 }
 
 // handleEvaluate serves POST /v1/evaluate. When the (possibly fault-injected)
 // simulation fails or panics, the handler degrades gracefully: it answers 200
 // with the analytical roofline estimate, "degraded": true and the reason,
 // rather than a 5xx — only bad input earns a 400, and 422 is reserved for
-// requests that cannot be evaluated even analytically.
+// requests that cannot be evaluated even analytically. A request that dies
+// because its own deadline passed or its client hung up is not "degraded":
+// it answers 503 with the cancellation taxonomy.
+//
+// A per-design divergence breaker sits in front of the simulation: after
+// BreakerThreshold consecutive numeric failures (diverged or non-finite
+// results, typically from an aggressive fault model) the handler stops
+// paying for doomed simulations and serves the analytical roofline directly,
+// letting every BreakerProbeEvery-th request through as a recovery probe.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
@@ -61,26 +75,47 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ev, err := evaluateSafely(d, net, req.Batch, s.opts.Fault)
+	if s.breaker != nil && !s.breaker.Allow(d.Name()) {
+		s.degrade(w, r, d, net, req.Batch,
+			"divergence breaker open for design "+d.Name())
+		return
+	}
+	ev, err := evaluateSafely(r.Context(), d, net, req.Batch, s.opts.Fault)
+	if s.breaker != nil {
+		// Record feeds only numeric outcomes into the state machine;
+		// cancellations and panics leave the breaker untouched.
+		s.breaker.Record(d.Name(), err)
+	}
 	if err != nil {
 		if core.IsBadInput(err) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		fb, ferr := core.EvaluateAnalytical(d, net, req.Batch)
-		if ferr != nil {
-			writeError(w, http.StatusUnprocessableEntity, err.Error())
+		if guard.IsCancellation(err) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
-		s.metrics.degraded.Inc()
-		s.opts.Logger.Printf("server: degraded evaluation of %s on %s: %v", d.Name(), net.Name, err)
-		resp := evaluationResponse(fb)
-		resp.Degraded = true
-		resp.DegradedReason = err.Error()
-		writeJSON(w, http.StatusOK, resp)
+		s.degrade(w, r, d, net, req.Batch, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, evaluationResponse(ev))
+}
+
+// degrade serves the analytical-roofline fallback for /v1/evaluate: 200 with
+// "degraded": true and the reason, or 422 when even the roofline cannot be
+// computed.
+func (s *Server) degrade(w http.ResponseWriter, r *http.Request, d core.Design, net workload.Network, batch int, reason string) {
+	fb, ferr := core.EvaluateAnalytical(r.Context(), d, net, batch)
+	if ferr != nil {
+		writeError(w, http.StatusUnprocessableEntity, reason)
+		return
+	}
+	s.metrics.degraded.Inc()
+	s.opts.Logger.Printf("server: degraded evaluation of %s on %s: %s", d.Name(), net.Name, reason)
+	resp := evaluationResponse(fb)
+	resp.Degraded = true
+	resp.DegradedReason = reason
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleEstimate serves POST /v1/estimate.
@@ -95,11 +130,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := estimator.Estimate(cfg)
+	res, err := estimator.Estimate(r.Context(), cfg)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
-		if core.IsBadInput(err) {
+		switch {
+		case core.IsBadInput(err):
 			status = http.StatusBadRequest
+		case guard.IsCancellation(err):
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err.Error())
 		return
@@ -133,8 +171,11 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		status := http.StatusUnprocessableEntity
-		if core.IsBadInput(err) {
+		switch {
+		case core.IsBadInput(err):
 			status = http.StatusBadRequest
+		case guard.IsCancellation(err):
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err.Error())
 		return

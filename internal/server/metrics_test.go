@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -97,7 +98,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	// Tick the jsim counters: the serving path reaches the solver only
 	// through memoised extraction, so run one small transient directly.
 	var pd jsim.PulseDetector
-	if err := jsim.NewSolver().RunChain(jsim.StandardJTL(4),
+	if err := jsim.NewSolver().RunChain(context.Background(), jsim.StandardJTL(4),
 		40*sfq.Picosecond, 0.05*sfq.Picosecond, &pd); err != nil {
 		t.Fatal(err)
 	}

@@ -95,7 +95,7 @@ func (s *Server) limit(next http.Handler) http.Handler {
 			if q := s.queued.Add(1); q > int64(s.opts.QueueDepth) {
 				s.queued.Add(-1)
 				s.metrics.rejected.Inc()
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(q-1)))
 				writeError(w, http.StatusTooManyRequests,
 					fmt.Sprintf("queue full (%d running, %d queued); retry later", s.opts.MaxConcurrent, q-1))
 				return
@@ -119,6 +119,32 @@ func (s *Server) limit(next http.Handler) http.Handler {
 		defer s.metrics.running.Dec()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// maxRetryAfter caps the backpressure hint: past a minute the client should
+// treat the service as down and apply its own policy, not sit on our number.
+const maxRetryAfter = 60
+
+// retryAfter derives the Retry-After hint from the actual backlog instead of
+// a constant: with queued requests ahead of the newcomer and MaxConcurrent
+// work slots draining them, the backlog clears in roughly queued/slots drain
+// rounds. The estimate is deliberately in whole rounds (ceiling) so a barely
+// full queue still says at least 1, and it grows linearly as the backlog
+// deepens — clients backing off proportionally spread their retries instead
+// of stampeding back in lockstep one second later.
+func (s *Server) retryAfter(queued int64) int {
+	slots := int64(s.opts.MaxConcurrent)
+	if slots < 1 {
+		slots = 1
+	}
+	rounds := (queued + slots - 1) / slots
+	if rounds < 1 {
+		rounds = 1
+	}
+	if rounds > maxRetryAfter {
+		rounds = maxRetryAfter
+	}
+	return int(rounds)
 }
 
 // countRequests bumps the total-request counter.

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"supernpu/internal/faultinject"
+	"supernpu/internal/guard"
 	"supernpu/internal/parallel"
 )
 
@@ -58,6 +59,16 @@ type Options struct {
 	// A simulation aborted by an injected fault does not 500: /v1/evaluate
 	// degrades to the analytical roofline estimate with "degraded": true.
 	Fault *faultinject.Model
+	// BreakerThreshold is the number of consecutive numeric failures
+	// (diverged / non-finite simulations) of one design after which
+	// /v1/evaluate stops attempting the full simulation for that design and
+	// serves the analytical roofline directly. Default: 3. Negative disables
+	// the breaker.
+	BreakerThreshold int
+	// BreakerProbeEvery is the half-open cadence of the divergence breaker:
+	// while open, every probeEvery-th evaluate request for the tripped
+	// design runs the real simulation as a recovery probe. Default: 8.
+	BreakerProbeEvery int
 }
 
 // withDefaults fills unset options.
@@ -74,6 +85,12 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = log.Default()
 	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerProbeEvery <= 0 {
+		o.BreakerProbeEvery = 8
+	}
 	return o
 }
 
@@ -89,6 +106,11 @@ type Server struct {
 	sem     chan struct{}
 	queued  atomic.Int64
 	metrics *metrics
+	// breaker is the per-design divergence circuit breaker guarding
+	// /v1/evaluate (nil when disabled): designs whose simulations keep
+	// blowing up numerically are short-circuited onto the analytical
+	// degraded path until a half-open probe succeeds.
+	breaker *guard.Breaker
 }
 
 // New returns a Server with the given options.
@@ -96,6 +118,9 @@ func New(opts Options) *Server {
 	s := &Server{opts: opts.withDefaults()}
 	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
 	s.metrics = globalMetrics
+	if s.opts.BreakerThreshold > 0 {
+		s.breaker = guard.NewBreaker(s.opts.BreakerThreshold, s.opts.BreakerProbeEvery)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s

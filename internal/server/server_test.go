@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"supernpu/internal/core"
+	"supernpu/internal/guard/leaktest"
 	"supernpu/internal/simcache"
 	"supernpu/internal/workload"
 )
@@ -89,7 +90,7 @@ func TestEvaluateMatchesDirectCall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := core.Evaluate(d, w, 1)
+	ev, err := core.Evaluate(context.Background(), d, w, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,6 +345,7 @@ func TestTimeout(t *testing.T) {
 // flight, cancels the serve context and verifies the request still completes
 // with a full response before Serve returns.
 func TestGracefulDrain(t *testing.T) {
+	leaktest.Check(t)
 	simcache.ClearAll()
 	s := New(Options{MaxConcurrent: 2, QueueDepth: 8, Logger: quiet})
 	l, err := net.Listen("tcp", "127.0.0.1:0")

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"supernpu/internal/arch"
+	"supernpu/internal/guard"
 	"supernpu/internal/obs"
 	"supernpu/internal/workload"
 )
@@ -162,7 +163,12 @@ func New[V any]() *Cache[V] {
 
 // GetOrCompute returns the cached value for key, computing and storing it on
 // first access. Concurrent callers of the same key share one computation;
-// errors are memoised like values (every computation here is deterministic).
+// deterministic errors are memoised like values. Transient errors
+// (guard.IsTransient: cancellations, deadline expiries, budget exhaustion)
+// describe the attempt, not the inputs, so the entry is evicted instead —
+// a canceled request must not poison the key for every later caller.
+// Callers coalesced onto an evicted computation still receive its transient
+// error for this attempt; their retry starts a fresh computation.
 func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
 	e, ok := c.m[key]
@@ -178,6 +184,13 @@ func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (V, error
 		c.inflight.Add(1)
 		defer c.inflight.Add(-1)
 		e.val, e.err = compute()
+		if guard.IsTransient(e.err) {
+			c.mu.Lock()
+			if c.m[key] == e {
+				delete(c.m, key)
+			}
+			c.mu.Unlock()
+		}
 	})
 	return e.val, e.err
 }

@@ -2,11 +2,13 @@ package simcache
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"supernpu/internal/arch"
+	"supernpu/internal/guard"
 	"supernpu/internal/workload"
 )
 
@@ -200,5 +202,51 @@ func TestRegistrySnapshotAndClearAll(t *testing.T) {
 	ClearAll()
 	if c.Len() != 0 {
 		t.Fatal("ClearAll did not clear the registered cache")
+	}
+}
+
+// Transient failures (cancellations, deadline expiries, budget exhaustion)
+// are properties of the attempt, not the inputs: memoising one would poison
+// the key for every later caller. The entry is evicted instead, so a retry
+// recomputes and can cache the real result.
+func TestTransientErrorsAreNotMemoised(t *testing.T) {
+	c := New[int]()
+	calls := 0
+	canceled := fmt.Errorf("sweep: %w", guard.ErrCanceled)
+	_, err := c.GetOrCompute("k", func() (int, error) { calls++; return 0, canceled })
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("first attempt err = %v", err)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("canceled computation left %d entries in the cache", got)
+	}
+	v, err := c.GetOrCompute("k", func() (int, error) { calls++; return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (no memoised cancellation)", calls)
+	}
+	// The successful retry is memoised as usual.
+	v, err = c.GetOrCompute("k", func() (int, error) { calls++; return -1, nil })
+	if err != nil || v != 42 || calls != 2 {
+		t.Fatalf("after retry: v=%d calls=%d err=%v", v, calls, err)
+	}
+}
+
+// Deterministic errors keep being memoised: divergence is a property of the
+// inputs and recomputing it would burn the same steps for the same answer.
+func TestNumericErrorsStayMemoised(t *testing.T) {
+	c := New[int]()
+	calls := 0
+	diverged := fmt.Errorf("transient: %w", guard.ErrDiverged)
+	for i := 0; i < 3; i++ {
+		_, err := c.GetOrCompute("k", func() (int, error) { calls++; return 0, diverged })
+		if !errors.Is(err, guard.ErrDiverged) {
+			t.Fatalf("attempt %d err = %v", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
 	}
 }

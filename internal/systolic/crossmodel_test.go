@@ -1,6 +1,7 @@
 package systolic
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestPerformanceModelTracksFunctionalModel(t *testing.T) {
 		}
 
 		net := workload.Network{Name: "one-" + l.Name, Layers: []workload.Layer{l}}
-		rep, err := npusim.Simulate(smallConfig(rows, cols, regs), net, 1)
+		rep, err := npusim.Simulate(context.Background(), smallConfig(rows, cols, regs), net, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", l.Name, err)
 		}

@@ -10,6 +10,7 @@ package supernpu
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -29,13 +30,13 @@ func TestFullReportByteIdenticalWithObservability(t *testing.T) {
 	})
 
 	obs.SetEnabled(false)
-	off, err := RunAllExperiments()
+	off, err := RunAllExperiments(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	obs.SetEnabled(true)
-	on, err := RunAllExperiments()
+	on, err := RunAllExperiments(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestFullReportByteIdenticalWithObservability(t *testing.T) {
 
 	var trace bytes.Buffer
 	obs.SetTraceWriter(&trace)
-	traced, err := RunAllExperiments()
+	traced, err := RunAllExperiments(context.Background())
 	obs.SetTraceWriter(nil)
 	if err != nil {
 		t.Fatal(err)

@@ -19,6 +19,7 @@ package supernpu
 // the whole random envelope.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -62,9 +63,9 @@ func TestPropertyThroughputPositive(t *testing.T) {
 		d := core.SFQDesign(cfg)
 		for _, batch := range []int{1, 0} {
 			net := nets[rng.Intn(len(nets))]
-			ev, err := Evaluate(d, net, batch)
+			ev, err := Evaluate(context.Background(), d, net, batch)
 			if err != nil {
-				t.Fatalf("Evaluate(%s, %s, %d): %v", cfg.Name, net.Name, batch, err)
+				t.Fatalf("Evaluate(context.Background(), %s, %s, %d): %v", cfg.Name, net.Name, batch, err)
 			}
 			if ev.Frequency <= 0 || math.IsInf(ev.Frequency, 0) || math.IsNaN(ev.Frequency) {
 				t.Fatalf("frequency %v not strictly positive/finite (%s on %s)", ev.Frequency, cfg.Name, net.Name)
@@ -85,9 +86,9 @@ func TestPropertySpeedupPositiveFinite(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		cfg := randomSFQConfig(rng, fmt.Sprintf("spd%d", i))
 		net := nets[rng.Intn(len(nets))]
-		s, err := Speedup(core.SFQDesign(cfg), net)
+		s, err := Speedup(context.Background(), core.SFQDesign(cfg), net)
 		if err != nil {
-			t.Fatalf("Speedup(%s, %s): %v", cfg.Name, net.Name, err)
+			t.Fatalf("Speedup(context.Background(), %s, %s): %v", cfg.Name, net.Name, err)
 		}
 		if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
 			t.Fatalf("speedup %v not strictly positive/finite (%s on %s)", s, cfg.Name, net.Name)
@@ -105,11 +106,11 @@ func TestPropertySpeedupStableUnderBiasing(t *testing.T) {
 		cfg := randomSFQConfig(rng, fmt.Sprintf("bias%d", i))
 		d := core.SFQDesign(cfg)
 		net := nets[rng.Intn(len(nets))]
-		s, err := Speedup(d, net)
+		s, err := Speedup(context.Background(), d, net)
 		if err != nil {
 			t.Fatal(err)
 		}
-		se, err := Speedup(ERSFQ(d), net)
+		se, err := Speedup(context.Background(), ERSFQ(d), net)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestPropertySpeedupStableUnderBiasing(t *testing.T) {
 // is faster.
 func TestPropertyPaperDirection(t *testing.T) {
 	for _, net := range Workloads() {
-		s, err := Speedup(Baseline(), net)
+		s, err := Speedup(context.Background(), Baseline(), net)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func TestPropertyPaperDirection(t *testing.T) {
 			t.Errorf("Baseline beats the TPU on %s (%.2fx); the paper's motivating bottleneck vanished", net.Name, s)
 		}
 		for _, d := range []Design{BufferOpt(), ResourceOpt(), SuperNPU()} {
-			s, err := Speedup(d, net)
+			s, err := Speedup(context.Background(), d, net)
 			if err != nil {
 				t.Fatal(err)
 			}

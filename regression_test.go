@@ -1,6 +1,7 @@
 package supernpu
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -33,7 +34,7 @@ func TestReproductionRegression(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Speedup(SuperNPU(), net)
+		got, err := Speedup(context.Background(), SuperNPU(), net)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +44,7 @@ func TestReproductionRegression(t *testing.T) {
 	within("SuperNPU geomean speedup", math.Exp(logSum/6), 21.37, 0.03)
 
 	// Table I architecture figures.
-	est, err := EstimateDesign(SuperNPU())
+	est, err := EstimateDesign(context.Background(), SuperNPU())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestReproductionRegression(t *testing.T) {
 
 	// Table III power of the ERSFQ design on ResNet-50.
 	net, _ := WorkloadByName("ResNet50")
-	ev, err := Evaluate(ERSFQ(SuperNPU()), net, 0)
+	ev, err := Evaluate(context.Background(), ERSFQ(SuperNPU()), net, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,7 @@
 // A minimal session:
 //
 //	net, _ := supernpu.WorkloadByName("ResNet50")
-//	ev, _ := supernpu.Evaluate(supernpu.SuperNPU(), net, 0)
+//	ev, _ := supernpu.Evaluate(context.Background(), supernpu.SuperNPU(), net, 0)
 //	fmt.Printf("%.1f TMAC/s at %.1f GHz\n", ev.Throughput/1e12, ev.Frequency/1e9)
 package supernpu
 
@@ -133,17 +133,23 @@ func WorkloadByName(name string) (Network, error) { return workload.ByName(name)
 
 // Evaluate simulates the workload on the design at the given batch size
 // (batch 0 selects the design's maximum on-chip batch, Table II).
-func Evaluate(d Design, net Network, batch int) (*Evaluation, error) {
-	return core.Evaluate(d, net, batch)
+// Cancellation of ctx aborts the simulation with an error matching
+// guard.ErrCanceled (guard.ErrDeadlineExceeded for an expired deadline).
+func Evaluate(ctx context.Context, d Design, net Network, batch int) (*Evaluation, error) {
+	return core.Evaluate(ctx, d, net, batch)
 }
 
 // Speedup returns a design's effective-throughput ratio over the TPU core
 // on one workload (the Fig. 23 metric).
-func Speedup(d Design, net Network) (float64, error) { return core.Speedup(d, net) }
+func Speedup(ctx context.Context, d Design, net Network) (float64, error) {
+	return core.Speedup(ctx, d, net)
+}
 
 // EstimateDesign runs the three-layer SFQ estimator on an SFQ design,
 // reporting clock frequency, static power, junction count and die area.
-func EstimateDesign(d Design) (*Estimate, error) { return estimator.Estimate(d.SFQ) }
+func EstimateDesign(ctx context.Context, d Design) (*Estimate, error) {
+	return estimator.Estimate(ctx, d.SFQ)
+}
 
 // ValidateModels reruns the Fig. 13 validation of the estimator against the
 // die-level and post-layout references.
@@ -180,15 +186,15 @@ func OpenCheckpoint(path string) (*Checkpoint, error) { return checkpoint.Open(p
 // EvaluateWithFaults is Evaluate under a fault model: junction spread
 // perturbs the operating point, pulse drops charge recirculation cycles,
 // bit flips degrade the accuracy proxy. CMOS designs always run nominally.
-func EvaluateWithFaults(d Design, net Network, batch int, fm *FaultModel) (*Evaluation, error) {
-	return core.EvaluateFaulted(d, net, batch, fm)
+func EvaluateWithFaults(ctx context.Context, d Design, net Network, batch int, fm *FaultModel) (*Evaluation, error) {
+	return core.EvaluateFaulted(ctx, d, net, batch, fm)
 }
 
 // EvaluateAnalytical is the graceful-degradation roofline estimate of an SFQ
 // design — no cycle simulation; the evaluation service falls back to it when
 // a fault-injected simulation aborts.
-func EvaluateAnalytical(d Design, net Network, batch int) (*Evaluation, error) {
-	return core.EvaluateAnalytical(d, net, batch)
+func EvaluateAnalytical(ctx context.Context, d Design, net Network, batch int) (*Evaluation, error) {
+	return core.EvaluateAnalytical(ctx, d, net, batch)
 }
 
 // ExploreDivisionOpts is ExploreDivision with cancellation, fault injection
@@ -224,10 +230,14 @@ func MarginSweep(ctx context.Context, o MarginSweepOptions) (string, error) {
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // RunExperiment regenerates one paper exhibit as rendered text.
-func RunExperiment(id string) (string, error) { return experiments.Run(id) }
+// Cancellation of ctx aborts the underlying simulations.
+func RunExperiment(ctx context.Context, id string) (string, error) {
+	return experiments.Run(ctx, id)
+}
 
-// RunAllExperiments regenerates every paper exhibit.
-func RunAllExperiments() (string, error) { return experiments.RunAll() }
+// RunAllExperiments regenerates every paper exhibit. Cancellation of ctx
+// stops the fan-out and aborts the exhibits already in flight.
+func RunAllExperiments(ctx context.Context) (string, error) { return experiments.RunAll(ctx) }
 
 // NewConvLayer builds a convolution layer for custom networks.
 func NewConvLayer(name string, h, w, c, r, s, m, stride, pad int) Layer {

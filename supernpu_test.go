@@ -1,6 +1,7 @@
 package supernpu
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -24,14 +25,14 @@ func TestFacadeEvaluateAndSpeedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := Evaluate(SuperNPU(), net, 0)
+	ev, err := Evaluate(context.Background(), SuperNPU(), net, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ev.Throughput <= 0 || ev.Batch != 30 {
 		t.Fatalf("unexpected evaluation: %+v", ev)
 	}
-	s, err := Speedup(SuperNPU(), net)
+	s, err := Speedup(context.Background(), SuperNPU(), net)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestFacadeERSFQ(t *testing.T) {
 	if d.Name() != "ERSFQ-SuperNPU" {
 		t.Fatalf("name = %q", d.Name())
 	}
-	est, err := EstimateDesign(d)
+	est, err := EstimateDesign(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFacadeCustomNetwork(t *testing.T) {
 	if err := net.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	ev, err := Evaluate(SuperNPU(), net, 4)
+	ev, err := Evaluate(context.Background(), SuperNPU(), net, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFacadeValidationAndExperiments(t *testing.T) {
 	if len(ExperimentIDs()) != 13 {
 		t.Fatal("13 exhibits expected")
 	}
-	out, err := RunExperiment("table2")
+	out, err := RunExperiment(context.Background(), "table2")
 	if err != nil || !strings.Contains(out, "Table II") {
 		t.Fatalf("RunExperiment failed: %v", err)
 	}
