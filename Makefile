@@ -10,9 +10,9 @@ COVER_PACKAGES ?= ./internal/server:70 ./internal/obs:80 ./internal/checkpoint:7
 # Per-target budget for the fuzz smoke pass (make fuzz).
 FUZZTIME ?= 15s
 
-.PHONY: check build vet test race bench bench-sweep bench-json bench-smoke repro serve cover fuzz metrics-smoke fault-smoke chaos-smoke race-resilience golden-update clean lint fmt-check
+.PHONY: check build vet test race bench bench-sweep bench-json bench-smoke repro serve cover fuzz metrics-smoke fault-smoke chaos-smoke race-resilience golden-update clean lint lint-self lint-sarif fmt-check
 
-check: build lint race
+check: build lint lint-self race
 
 build:
 	$(GO) build ./...
@@ -29,9 +29,20 @@ fmt-check:
 
 # Full static-analysis gate: formatting, go vet, then the domain rulebook
 # (internal/lint) that machine-checks the determinism/concurrency/error
-# contracts. Findings are suppressed in place with //lint:allow(rule).
+# contracts, gated on the committed baseline — only *new* findings fail.
+# Findings are suppressed in place with //lint:allow(rule).
 lint: fmt-check vet
-	$(GO) run ./cmd/supernpu-lint
+	$(GO) run ./cmd/supernpu-lint -baseline lint.baseline.json
+
+# Self-application: the analyzer's own packages must pass its rulebook,
+# including the interprocedural rules, with no baseline cushion.
+lint-self:
+	$(GO) run ./cmd/supernpu-lint -pkgs internal/lint,cmd/supernpu-lint
+
+# Emit the findings as a SARIF 2.1.0 log for code-scanning upload.
+# Always writes lint.sarif; the exit code still reflects the baseline gate.
+lint-sarif:
+	$(GO) run ./cmd/supernpu-lint -sarif -baseline lint.baseline.json > lint.sarif
 
 test:
 	$(GO) test ./...
@@ -90,6 +101,7 @@ fuzz:
 	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzDecodeRequests -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/simcache -run='^$$' -fuzz=FuzzKeyInjectivity -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/obs -run='^$$' -fuzz=FuzzPromEscape -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/lint -run='^$$' -fuzz=FuzzSARIFEscape -fuzztime=$(FUZZTIME)
 
 # CI smoke for the observability surface: scrape GET /metrics off a live
 # test server and fail unless it parses as strict Prometheus text.

@@ -1,0 +1,142 @@
+// Baseline gating: CI fails only on findings that are not in the
+// committed baseline, so new rules (or newly sharpened ones) can land
+// without freezing the tree while every *new* violation still blocks.
+//
+// Identity is position-independent: a finding is identified by
+// (rule, module-root-relative file, enclosing symbol) with a count per
+// identity, so line drift from unrelated edits never churns the baseline
+// — but a second violation of the same rule inside the same function is
+// caught, because it exceeds the baselined count. Entries that no longer
+// match anything are reported as stale so the baseline only ever shrinks.
+
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// BaselineEntry is one accepted finding identity.
+type BaselineEntry struct {
+	Rule string `json:"rule"`
+	// File is module-root-relative with forward slashes.
+	File   string `json:"file"`
+	Symbol string `json:"symbol"`
+	// Count is how many findings of this identity are accepted.
+	Count int `json:"count"`
+	// Reason documents why the finding is baselined rather than fixed;
+	// reviewed like a //lint:allow justification.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// baselineKey is the position-independent identity.
+func baselineKey(rule, file, symbol string) string {
+	return rule + "\x00" + file + "\x00" + symbol
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: %s: unsupported baseline version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// NewBaseline aggregates a result into baseline entries, sorted by
+// identity. root relativizes the file paths.
+func NewBaseline(res Result, root string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, d := range res.Diags {
+		file := relPath(root, d.File)
+		key := baselineKey(d.Rule, file, d.Symbol)
+		if e, ok := counts[key]; ok {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{Rule: d.Rule, File: file, Symbol: d.Symbol, Count: 1}
+	}
+	b := &Baseline{Version: 1}
+	for _, e := range counts {
+		b.Findings = append(b.Findings, *e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Symbol != c.Symbol {
+			return a.Symbol < c.Symbol
+		}
+		return a.Rule < c.Rule
+	})
+	return b
+}
+
+// Write renders the baseline as stable, indented JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ApplyBaseline splits res into the findings not covered by the baseline
+// (fresh — these gate CI) and reports entries the tree no longer
+// produces (stale — candidates for deletion). Within one identity the
+// first Count findings in canonical order are absorbed; any beyond that
+// are fresh.
+func ApplyBaseline(res Result, root string, b *Baseline) (fresh Result, stale []BaselineEntry) {
+	allowed := map[string]int{}
+	for _, e := range b.Findings {
+		allowed[baselineKey(e.Rule, e.File, e.Symbol)] += e.Count
+	}
+	used := map[string]int{}
+	fresh.Suppressed = res.Suppressed
+	for _, d := range res.Diags {
+		key := baselineKey(d.Rule, relPath(root, d.File), d.Symbol)
+		if used[key] < allowed[key] {
+			used[key]++
+			continue
+		}
+		fresh.Diags = append(fresh.Diags, d)
+	}
+	for _, e := range b.Findings {
+		key := baselineKey(e.Rule, e.File, e.Symbol)
+		if rest := allowed[key] - used[key]; rest > 0 {
+			s := e
+			s.Count = rest
+			stale = append(stale, s)
+			used[key] = allowed[key] // report each identity once
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, c := stale[i], stale[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Symbol != c.Symbol {
+			return a.Symbol < c.Symbol
+		}
+		return a.Rule < c.Rule
+	})
+	return fresh, stale
+}

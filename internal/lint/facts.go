@@ -1,0 +1,329 @@
+// Transitive per-function facts over the call graph, computed by a
+// deterministic fixed point. Each fact is a monotone boolean on the
+// lattice {unknown < true}: base facts come from one walk of each body,
+// and propagation only ever flips a node from unknown to true, so the
+// loop terminates after at most |nodes| rounds. Nodes are visited in
+// sorted order and edges in source order, which makes the derivation —
+// and therefore the call chain attached to every diagnostic — a pure
+// function of the source text.
+//
+// Facts computed:
+//
+//	reachND   the function reaches a nondeterminism sink (wall clock,
+//	          math/rand, fmt over a map) through module-local calls;
+//	          propagation stops at the trusted boundary packages whose
+//	          own contracts make their internal timing unobservable
+//	escPanic  an undocumented panic can escape the function's frame; a
+//	          doc comment mentioning "panic" or an in-body recover()
+//	          absorbs the fact, and callback edges never forward it
+//	          (the pool recovers callbacks into *PanicError)
+//	hotCtx    the function directly or transitively calls a
+//	          context-aware callee through ctx-less locals
+//	loopyHot  the function does not accept a context and a loop on some
+//	          ctx-less call path below it drives a context-aware callee
+//	          — the stranded-sweep shape ctxflow reports at entry points
+//	mutates   the function reaches an unsynchronized write to a
+//	          package-level variable (the race class sharedmut flags
+//	          inside pool callbacks)
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// trustedNDPkgs are the determinism-neutral boundary packages: they read
+// the clock for telemetry and scheduling, but their own contracts (the
+// differential golden test for obs, byte-identity across worker counts
+// for parallel) guarantee none of it is observable in modeled outputs.
+// Nondeterminism propagation stops at their edges; see DESIGN.md §14.
+var trustedNDPkgs = map[string]bool{
+	"supernpu/internal/obs":      true,
+	"supernpu/internal/parallel": true,
+}
+
+// Facts carries the call graph and its computed fact fields; Run attaches
+// one to every Pass so rules can consult transitive reachability.
+type Facts struct {
+	g *callGraph
+}
+
+// nodeOf returns the graph node for fn, or nil when fn was not declared
+// (with a body) in the analyzed package set.
+func (f *Facts) nodeOf(fn *types.Func) *funcNode {
+	if f == nil || fn == nil {
+		return nil
+	}
+	return f.g.nodes[fn]
+}
+
+// computeFacts builds the call graph, extracts base facts from every body,
+// and runs the fixed point.
+func computeFacts(pkgs []*Package) *Facts {
+	g := buildCallGraph(pkgs)
+	for _, n := range g.order {
+		collectBaseFacts(n)
+	}
+	propagate(g)
+	return &Facts{g: g}
+}
+
+// isRandPkg reports whether path is a math/rand flavour.
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// isUniverseCall reports whether call invokes the predeclared function of
+// the given name (panic, recover).
+func isUniverseCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == name && info.Uses[id] == types.Universe.Lookup(name)
+}
+
+// rootVar resolves the leftmost variable of an lvalue chain
+// (x, x.f, x[i], *x, pkg.X and their compositions), or nil.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.ObjectOf(x).(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+					v, _ := info.ObjectOf(x.Sel).(*types.Var)
+					return v
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgLevelVar reports whether v is a package-scoped variable (not a
+// field, parameter, or local).
+func isPkgLevelVar(v *types.Var) bool {
+	return v != nil && !v.IsField() && v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// isSyncLock reports whether f is (*sync.Mutex).Lock, (*sync.RWMutex).Lock
+// or RLock — the signal that a function synchronizes its own mutations.
+func isSyncLock(f *types.Func) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync" &&
+		(f.Name() == "Lock" || f.Name() == "RLock")
+}
+
+// collectBaseFacts fills n's base fact fields with one walk of the body.
+func collectBaseFacts(n *funcNode) {
+	info := n.pkg.Info
+	n.acceptsCtx = signatureAcceptsContext(n.fn.Type().(*types.Signature))
+	n.panicDoc = n.decl.Doc != nil && strings.Contains(strings.ToLower(n.decl.Doc.Text()), "panic")
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			n.loops = true
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if v := rootVar(info, lhs); isPkgLevelVar(v) && !n.writesShared {
+					n.writesShared = true
+					n.sharedDesc = "write to package-level " + v.Name()
+					n.sharedPos = lhs.Pos()
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := rootVar(info, node.X); isPkgLevelVar(v) && !n.writesShared {
+				n.writesShared = true
+				n.sharedDesc = "write to package-level " + v.Name()
+				n.sharedPos = node.X.Pos()
+			}
+		case *ast.CallExpr:
+			if isUniverseCall(info, node, "panic") {
+				if !n.panics {
+					n.panics = true
+					n.panicPos = node.Pos()
+				}
+				return true
+			}
+			if isUniverseCall(info, node, "recover") {
+				n.hasRecover = true
+				return true
+			}
+			callee := calleeFunc(info, node)
+			if callee == nil {
+				return true
+			}
+			if isSyncLock(callee) {
+				n.selfSynced = true
+			}
+			full := callee.FullName()
+			if n.ndSink == "" {
+				switch {
+				case full == "time.Now" || full == "time.Since" || full == "time.Until":
+					n.ndSink = full
+					n.ndPos = node.Pos()
+				case callee.Pkg() != nil && isRandPkg(callee.Pkg().Path()):
+					n.ndSink = "math/rand." + callee.Name()
+					n.ndPos = node.Pos()
+				case fmtPrinters[full]:
+					for _, arg := range node.Args {
+						if tv, ok := info.Types[arg]; ok && isMap(tv.Type) {
+							n.ndSink = full + " over a map"
+							n.ndPos = node.Pos()
+							break
+						}
+					}
+				}
+			}
+			if n.ctxAwareCall == "" {
+				if sig, ok := callee.Type().(*types.Signature); ok && signatureAcceptsContext(sig) {
+					n.ctxAwareCall = callee.Name()
+					n.ctxAwarePos = node.Pos()
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagate runs the fixed point over all transitive facts at once. Facts
+// only flip unknown→true and the via link is chosen as the first edge (in
+// source order) that justifies the flip, so derivations are acyclic and
+// deterministic.
+func propagate(g *callGraph) {
+	// Seed base cases.
+	for _, n := range g.order {
+		if n.ndSink != "" {
+			n.reachND = &chainLink{desc: n.ndSink, pos: n.ndPos}
+		}
+		if n.panics && !n.panicDoc {
+			n.escPanic = &chainLink{desc: "panic", pos: n.panicPos}
+		}
+		if n.ctxAwareCall != "" {
+			n.hotCtx = true
+			n.hotCtxLink = &chainLink{desc: n.ctxAwareCall, pos: n.ctxAwarePos}
+		}
+		if n.writesShared && !n.selfSynced {
+			n.mutates = &chainLink{desc: n.sharedDesc, pos: n.sharedPos}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.order {
+			for i := range n.edges {
+				e := &n.edges[i]
+				c := e.callee
+				if c == n {
+					continue
+				}
+				if n.reachND == nil && c.reachND != nil && !trustedNDPkgs[c.pkg.Path] {
+					n.reachND = &chainLink{via: c, pos: e.pos}
+					changed = true
+				}
+				if e.kind == edgeCall {
+					if n.escPanic == nil && !n.panicDoc && !n.hasRecover && c.escPanic != nil {
+						n.escPanic = &chainLink{via: c, pos: e.pos}
+						changed = true
+					}
+					if !n.hotCtx && !c.acceptsCtx && c.hotCtx {
+						n.hotCtx = true
+						n.hotCtxLink = &chainLink{via: c, pos: e.pos}
+						changed = true
+					}
+					if n.loopyHot == nil && !n.acceptsCtx && !c.acceptsCtx && c.loopyHot != nil {
+						n.loopyHot = &chainLink{via: c, pos: e.pos}
+						changed = true
+					}
+				}
+				if n.mutates == nil && !n.selfSynced && c.mutates != nil {
+					n.mutates = &chainLink{via: c, pos: e.pos}
+					changed = true
+				}
+			}
+			// The loopyHot base case depends on hotCtx, which other edges of
+			// this same pass may have just derived — evaluate it last.
+			if n.loopyHot == nil && !n.acceptsCtx && n.loops && n.hotCtx {
+				n.loopyHot = &chainLink{pos: n.ctxAwarePos}
+				changed = true
+			}
+		}
+	}
+}
+
+// ndChain renders the derivation of n's reachND fact, starting with n's
+// own label and ending at the sink: ["estimator.Cold", "report.stamp",
+// "time.Now"].
+func (f *Facts) ndChain(n *funcNode) []string {
+	out := []string{n.label()}
+	for l := n.reachND; l != nil; l = l.via.reachND {
+		if l.via == nil {
+			return append(out, l.desc)
+		}
+		out = append(out, l.via.label())
+	}
+	return out
+}
+
+// panicChain renders the derivation of n's escPanic fact, ending at
+// "panic".
+func (f *Facts) panicChain(n *funcNode) []string {
+	out := []string{n.label()}
+	for l := n.escPanic; l != nil; l = l.via.escPanic {
+		if l.via == nil {
+			return append(out, l.desc)
+		}
+		out = append(out, l.via.label())
+	}
+	return out
+}
+
+// ctxChain renders the derivation of n's loopyHot fact: the ctx-less call
+// path down to the looping frame, then that frame's route to the
+// context-aware callee.
+func (f *Facts) ctxChain(n *funcNode) []string {
+	out := []string{n.label()}
+	cur := n
+	for {
+		l := cur.loopyHot
+		if l == nil {
+			return out
+		}
+		if l.via != nil {
+			cur = l.via
+			out = append(out, cur.label())
+			continue
+		}
+		// Loop-with-hot-body case: splice in the hotCtx derivation.
+		for hl := cur.hotCtxLink; hl != nil; hl = hl.via.hotCtxLink {
+			if hl.via == nil {
+				return append(out, hl.desc)
+			}
+			out = append(out, hl.via.label())
+		}
+		return out
+	}
+}
+
+// mutChain renders the derivation of n's mutates fact, ending at the
+// description of the package-level write.
+func (f *Facts) mutChain(n *funcNode) []string {
+	out := []string{n.label()}
+	for l := n.mutates; l != nil; l = l.via.mutates {
+		if l.via == nil {
+			return append(out, l.desc)
+		}
+		out = append(out, l.via.label())
+	}
+	return out
+}
+
+// chainString joins a chain for diagnostic messages.
+func chainString(chain []string) string {
+	return strings.Join(chain, " → ")
+}

@@ -81,6 +81,15 @@ type Diagnostic struct {
 	Line     int      `json:"line"`
 	Col      int      `json:"col"`
 	Message  string   `json:"message"`
+	// Symbol names the enclosing top-level declaration ("Cold",
+	// "(*Solver).RunChain"); it is the position-independent half of the
+	// baseline identity, so line drift never churns the baseline.
+	Symbol string `json:"symbol,omitempty"`
+	// Chain is the interprocedural derivation for transitive findings,
+	// from the reported function down to the sink
+	// (["estimator.Cold", "report.stamp", "time.Now"]); empty for
+	// intraprocedural findings.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -102,13 +111,22 @@ type Rule interface {
 
 // Pass hands one package to one rule and collects its findings.
 type Pass struct {
-	Pkg    *Package
+	Pkg *Package
+	// Facts carries the module-wide call graph and transitive facts;
+	// rules consult it for interprocedural findings.
+	Facts  *Facts
 	rule   Rule
 	report func(Diagnostic)
 }
 
 // Reportf records a finding at node's position.
 func (p *Pass) Reportf(node ast.Node, format string, args ...any) {
+	p.ReportChainf(node, nil, format, args...)
+}
+
+// ReportChainf records a transitive finding at node's position, attaching
+// the interprocedural derivation chain.
+func (p *Pass) ReportChainf(node ast.Node, chain []string, format string, args ...any) {
 	pos := p.Pkg.Fset.Position(node.Pos())
 	p.report(Diagnostic{
 		Rule:     p.rule.Name(),
@@ -117,6 +135,7 @@ func (p *Pass) Reportf(node ast.Node, format string, args ...any) {
 		Line:     pos.Line,
 		Col:      pos.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
@@ -132,6 +151,7 @@ func Rules() []Rule {
 		&cacheKeyRule{},
 		&obsFlowRule{},
 		&ctxFlowRule{},
+		&sharedMutRule{},
 	}
 }
 
@@ -213,13 +233,18 @@ func (s suppressions) allows(d Diagnostic) bool {
 }
 
 // Run applies every rule to every package and returns the merged, sorted,
-// suppression-filtered result.
+// suppression-filtered result. Before the rules fire, the module-wide call
+// graph and its transitive facts are computed over the whole package set,
+// so interprocedural findings see edges that cross package boundaries.
+// Afterwards the diagnostics are sorted into the canonical emission order,
+// de-duplicated, and attributed to their enclosing top-level symbol.
 func Run(pkgs []*Package, rules []Rule) Result {
+	facts := computeFacts(pkgs)
 	var res Result
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
 		for _, rule := range rules {
-			pass := &Pass{Pkg: pkg, rule: rule}
+			pass := &Pass{Pkg: pkg, Facts: facts, rule: rule}
 			pass.report = func(d Diagnostic) {
 				if sup.allows(d) {
 					res.Suppressed++
@@ -230,8 +255,20 @@ func Run(pkgs []*Package, rules []Rule) Result {
 			rule.Check(pass)
 		}
 	}
-	sort.Slice(res.Diags, func(i, j int) bool {
-		a, b := res.Diags[i], res.Diags[j]
+	attachSymbols(pkgs, res.Diags)
+	sortDiagnostics(res.Diags)
+	res.Diags = dedupe(res.Diags)
+	return res
+}
+
+// sortDiagnostics orders findings by (file, line, col, rule, message):
+// the canonical emission order every writer (text, JSON, SARIF) inherits,
+// so analyzer output is itself a pure function of the source tree. The
+// message tie-break makes the order total even when one rule reports
+// twice at one position.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -241,9 +278,103 @@ func Run(pkgs []*Package, rules []Rule) Result {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return res
+}
+
+// dedupe collapses findings that share (file, line, col, rule): when an
+// interprocedural rule and its intraprocedural ancestor both fire at one
+// position, the chain-carrying diagnostic wins, so the reader gets the
+// full derivation exactly once. The input must already be sorted.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.File == d.File && last.Line == d.Line && last.Col == d.Col && last.Rule == d.Rule {
+				if len(last.Chain) == 0 && len(d.Chain) > 0 {
+					*last = d
+				}
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// attachSymbols sets each diagnostic's Symbol to the name of the
+// enclosing top-level declaration, resolved by line range against the
+// package set the findings came from.
+func attachSymbols(pkgs []*Package, diags []Diagnostic) {
+	type declSpan struct {
+		start, end int
+		name       string
+	}
+	byFile := map[string][]declSpan{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				var names []string
+				switch decl := decl.(type) {
+				case *ast.FuncDecl:
+					name := decl.Name.Name
+					if decl.Recv != nil && len(decl.Recv.List) == 1 {
+						names = append(names, "("+recvString(decl.Recv.List[0].Type)+")."+name)
+					} else {
+						names = append(names, name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range decl.Specs {
+						switch spec := spec.(type) {
+						case *ast.ValueSpec:
+							for _, id := range spec.Names {
+								names = append(names, id.Name)
+							}
+						case *ast.TypeSpec:
+							names = append(names, spec.Name.Name)
+						}
+					}
+					if len(names) > 1 {
+						names = names[:1] // attribute the whole block to its first name
+					}
+				}
+				if len(names) == 0 {
+					continue
+				}
+				start := pkg.Fset.Position(decl.Pos())
+				end := pkg.Fset.Position(decl.End())
+				if decl, ok := decl.(*ast.FuncDecl); ok && decl.Doc != nil {
+					start = pkg.Fset.Position(decl.Doc.Pos())
+				}
+				byFile[start.Filename] = append(byFile[start.Filename], declSpan{start.Line, end.Line, names[0]})
+			}
+		}
+	}
+	for i := range diags {
+		for _, span := range byFile[diags[i].File] {
+			if diags[i].Line >= span.start && diags[i].Line <= span.end {
+				diags[i].Symbol = span.name
+				break
+			}
+		}
+	}
+}
+
+// recvString renders a receiver type expression ("*Solver", "Chain").
+func recvString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return "*" + recvString(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvString(e.X)
+	}
+	return "?"
 }
 
 // WriteText renders the result one finding per line, with a trailing

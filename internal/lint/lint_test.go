@@ -61,22 +61,57 @@ func collectWants(t *testing.T, pkg *Package) []*expectation {
 	return wants
 }
 
+// loadFixtureClosure type-checks one testdata/src package plus its
+// in-module dependency closure with a single loader, so cross-package
+// call-graph edges resolve to shared function objects.
+func loadFixtureClosure(t *testing.T, name string) []*Package {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadClosure(filepath.Join("testdata", "src", name), root, fixturePath+name)
+	if err != nil {
+		t.Fatalf("loading fixture closure %s: %v", name, err)
+	}
+	return pkgs
+}
+
 // checkFixture runs one rule over its fixture and verifies the findings
 // line up one-to-one with the want comments: a missing finding means the
 // seeded violation stopped being caught, an extra one means a false
 // positive crept into a compliant shape.
 func checkFixture(t *testing.T, ruleName, fixture string) {
 	t.Helper()
+	checkFixturePkgs(t, ruleName, fixture, []*Package{loadFixture(t, fixture)})
+}
+
+// checkFixtureClosure is checkFixture over a fixture package and its
+// dependency closure: want comments are honoured in every closure package
+// that lives under testdata, so cross-package chains can pin findings at
+// both ends.
+func checkFixtureClosure(t *testing.T, ruleName, fixture string) {
+	t.Helper()
+	checkFixturePkgs(t, ruleName, fixture, loadFixtureClosure(t, fixture))
+}
+
+func checkFixturePkgs(t *testing.T, ruleName, fixture string, pkgs []*Package) {
+	t.Helper()
 	rule := RuleByName(ruleName)
 	if rule == nil {
 		t.Fatalf("rule %s not registered", ruleName)
 	}
-	pkg := loadFixture(t, fixture)
-	wants := collectWants(t, pkg)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		if !strings.Contains(pkg.Dir, "testdata") {
+			continue // real module packages pulled in as dependencies
+		}
+		wants = append(wants, collectWants(t, pkg)...)
+	}
 	if len(wants) == 0 {
 		t.Fatalf("fixture %s has no want comments", fixture)
 	}
-	res := Run([]*Package{pkg}, []Rule{rule})
+	res := Run(pkgs, []Rule{rule})
 	for _, d := range res.Diags {
 		matched := false
 		for _, w := range wants {
@@ -104,6 +139,69 @@ func TestFloatEqFixture(t *testing.T)        { checkFixture(t, "floateq", "float
 func TestCacheKeyFixture(t *testing.T)       { checkFixture(t, "cachekey", "cachekey") }
 func TestObsFlowFixture(t *testing.T)        { checkFixture(t, "obsflow", "obsflow") }
 func TestCtxFlowFixture(t *testing.T)        { checkFixture(t, "ctxflow", "ctxflow") }
+
+// The interprocedural fixtures: every violation sits ≥2 call hops and one
+// package boundary away from the reported position, so these only pass
+// when the call graph, the fixed point, and the chain rendering all work.
+func TestNondeterminismCrossPackage(t *testing.T) {
+	checkFixtureClosure(t, "nondeterminism", "ndcross")
+}
+func TestCtxFlowCrossPackage(t *testing.T) { checkFixtureClosure(t, "ctxflow", "ctxcross") }
+func TestPanicBoundaryCrossPackage(t *testing.T) {
+	checkFixtureClosure(t, "panicboundary", "paniccross")
+}
+func TestSharedMutFixture(t *testing.T) { checkFixtureClosure(t, "sharedmut", "sharedmut") }
+
+// TestTransitiveChainContents pins the exact derivation chain attached to
+// a cross-package finding, sink included.
+func TestTransitiveChainContents(t *testing.T) {
+	pkgs := loadFixtureClosure(t, "ndcross")
+	res := Run(pkgs, []Rule{RuleByName("nondeterminism")})
+	want := []string{"estimator.Cold", "ndhelper.Jitter", "ndhelper.stamp", "time.Now"}
+	for _, d := range res.Diags {
+		if len(d.Chain) == len(want) {
+			ok := true
+			for i := range want {
+				if d.Chain[i] != want[i] {
+					ok = false
+				}
+			}
+			if ok {
+				if !strings.Contains(d.Message, "estimator.Cold → ndhelper.Jitter → ndhelper.stamp → time.Now") {
+					t.Errorf("chain not rendered into the message: %s", d.Message)
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("no diagnostic carries the chain %v; got %+v", want, res.Diags)
+}
+
+// TestTransitiveDedup pins the (position, rule) de-duplication: when the
+// intraprocedural ctxflow check and its interprocedural upgrade both fire
+// on one declaration, exactly one diagnostic survives and it carries the
+// chain.
+func TestTransitiveDedup(t *testing.T) {
+	pkg := loadFixture(t, "ctxflow")
+	res := Run([]*Package{pkg}, []Rule{RuleByName("ctxflow")})
+	seen := map[string]int{}
+	for _, d := range res.Diags {
+		key := fmt.Sprintf("%s:%d:%d:%s", d.File, d.Line, d.Col, d.Rule)
+		seen[key]++
+		if seen[key] > 1 {
+			t.Errorf("duplicate diagnostics at %s", key)
+		}
+	}
+	withChain := 0
+	for _, d := range res.Diags {
+		if len(d.Chain) > 0 && strings.Contains(d.Message, "does not accept a context.Context") {
+			withChain++
+		}
+	}
+	if withChain == 0 {
+		t.Error("dedupe kept the chain-less diagnostic; the interprocedural derivation was lost")
+	}
+}
 
 // TestSuppression checks the //lint:allow comment forms: standalone
 // above, inline, comma lists, and that allowing one rule does not silence
@@ -155,12 +253,14 @@ func TestJSONOutputSchema(t *testing.T) {
 	}
 	var rep struct {
 		Diagnostics []struct {
-			Rule     string `json:"rule"`
-			Severity string `json:"severity"`
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Col      int    `json:"col"`
-			Message  string `json:"message"`
+			Rule     string   `json:"rule"`
+			Severity string   `json:"severity"`
+			File     string   `json:"file"`
+			Line     int      `json:"line"`
+			Col      int      `json:"col"`
+			Message  string   `json:"message"`
+			Symbol   string   `json:"symbol"`
+			Chain    []string `json:"chain"`
 		} `json:"diagnostics"`
 		Counts     map[string]int `json:"counts"`
 		Suppressed int            `json:"suppressed"`

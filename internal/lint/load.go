@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -38,6 +39,32 @@ type Package struct {
 	Info *types.Info
 }
 
+// The standard-library resolver is shared process-wide: the source
+// importer memoises each GOROOT package it type-checks, so sharing one
+// instance across every LoadModule/LoadDir call means fmt, context, sync
+// and friends are checked from source exactly once per process instead of
+// once per load (the difference between the cold and warm numbers of
+// BenchmarkLintModule). The importer is bound to its FileSet, so the
+// FileSet must be shared too — every load parses module files into it,
+// which keeps all positions, std and module alike, resolvable. Neither
+// structure is safe for concurrent mutation, so loadMu serialises every
+// load entry point.
+var (
+	loadMu     sync.Mutex
+	sharedFset *token.FileSet
+	sharedStd  types.ImporterFrom
+)
+
+// sharedImporter returns the process-wide FileSet and std importer,
+// creating them on first use. Callers must hold loadMu.
+func sharedImporter() (*token.FileSet, types.ImporterFrom) {
+	if sharedFset == nil {
+		sharedFset = token.NewFileSet()
+		sharedStd = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	}
+	return sharedFset, sharedStd
+}
+
 // loader resolves imports for one LoadModule call. It implements
 // types.ImporterFrom so the type checker can pull module-local packages
 // on demand, in dependency order, with memoisation.
@@ -51,12 +78,12 @@ type loader struct {
 }
 
 func newLoader(modRoot, modPath string) *loader {
-	fset := token.NewFileSet()
+	fset, std := sharedImporter()
 	return &loader{
 		fset:    fset,
 		modRoot: modRoot,
 		modPath: modPath,
-		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		std:     std,
 		pkgs:    map[string]*Package{},
 		loading: map[string]bool{},
 	}
@@ -197,6 +224,8 @@ func FindModuleRoot(dir string) (string, error) {
 // (skipping testdata, vendor, and hidden directories), returning them
 // sorted by import path.
 func LoadModule(root string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -256,10 +285,37 @@ func LoadModule(root string) ([]*Package, error) {
 // path; the rule fixtures under testdata use it to present themselves as
 // internal packages so path-gated rules apply.
 func LoadDir(dir, modRoot, importPath string) (*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
 	modPath, err := ModulePath(modRoot)
 	if err != nil {
 		return nil, err
 	}
 	l := newLoader(modRoot, modPath)
 	return l.load(dir, importPath)
+}
+
+// LoadClosure loads dir like LoadDir but returns every module-local
+// package the load pulled in — the root package plus its in-module
+// dependency closure, sorted by import path. The interprocedural fixture
+// tests use it: cross-package call chains only resolve when caller and
+// callee were type-checked by the same loader, so their function objects
+// are identical.
+func LoadClosure(dir, modRoot, importPath string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	modPath, err := ModulePath(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(modRoot, modPath)
+	if _, err := l.load(dir, importPath); err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, pkg := range l.pkgs {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
 }

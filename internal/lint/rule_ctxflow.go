@@ -104,5 +104,17 @@ func (r ctxFlowRule) Check(p *Pass) {
 		if loops && ctxCallee != "" {
 			p.Reportf(fd, "exported %s loops while calling the context-aware %s but does not accept a context.Context; thread the caller's ctx through so the sweep stays cancellable", fd.Name.Name, ctxCallee)
 		}
+		// Transitive contract: the loop and the context-aware callee may
+		// sit any number of ctx-less helper calls below the exported
+		// entry point — the loopyHot fact follows the whole chain, and
+		// the finding lands on the declaration with the derivation. When
+		// the intraprocedural check above also fired, dedupe keeps the
+		// chain-carrying diagnostic.
+		n := p.Facts.nodeOf(fn)
+		if n == nil || n.loopyHot == nil {
+			return
+		}
+		chain := p.Facts.ctxChain(n)
+		p.ReportChainf(fd, chain, "exported %s drives a context-aware callee from a loop but does not accept a context.Context (%s); thread the caller's ctx through so the sweep stays cancellable", fd.Name.Name, chainString(chain))
 	})
 }

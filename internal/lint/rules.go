@@ -119,6 +119,13 @@ var fmtPrinters = map[string]bool{
 // fmt printing inside the modeling packages. Simulator and estimator
 // outputs must be pure functions of their configs; randomness comes only
 // from the seeded fault model and timing only from the simulated clock.
+//
+// The rule is interprocedural: beyond the direct sinks, it flags calls
+// from modeling code into module-local helpers — in packages the
+// intraprocedural gate never inspects — whose call graph transitively
+// reaches a sink, and reports the full derivation chain. Propagation
+// stops at the trusted boundary packages (trustedNDPkgs): their clock
+// reads feed telemetry and scheduling only, never modeled numbers.
 type nondeterminismRule struct{}
 
 func (nondeterminismRule) Name() string { return "nondeterminism" }
@@ -158,6 +165,39 @@ func (r nondeterminismRule) Check(p *Pass) {
 			return true
 		})
 	}
+	// Transitive contract: a sink hidden one or more helper calls away,
+	// in a package outside the modeling gate. The finding lands on the
+	// call site inside the modeling package — the deepest point still
+	// under this rule's jurisdiction — with the full derivation chain.
+	eachFuncDecl(p.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		caller, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+		callerNode := p.Facts.nodeOf(caller)
+		if callerNode == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p.Pkg.Info, call)
+			n := p.Facts.nodeOf(callee)
+			if n == nil || n.reachND == nil {
+				return true
+			}
+			// Callees inside modeling packages are flagged at their own
+			// sinks; trusted boundary packages are determinism-neutral.
+			if modelingPackages[n.pkg.Name] || trustedNDPkgs[n.pkg.Path] {
+				return true
+			}
+			chain := append([]string{callerNode.label()}, p.Facts.ndChain(n)...)
+			p.ReportChainf(call, chain, "call to %s reaches %s (%s); modeling outputs must be pure functions of the configuration", callee.Name(), chain[len(chain)-1], chainString(chain))
+			return true
+		})
+	})
 }
 
 // goExemptPackages may spawn raw goroutines: internal/parallel is the
@@ -198,6 +238,14 @@ func (r nakedGoRule) Check(p *Pass) {
 // every boundary, a panic is only legitimate as a programmer-error trap on
 // an invariant — and then the function's doc comment must say so (contain
 // the word "panic"), making the trap part of the reviewed contract.
+//
+// The rule is interprocedural: an exported function whose callees
+// transitively reach an undocumented panic is flagged at its declaration
+// with the call chain, because that is where the surprise escapes the
+// package's reviewed surface. Documentation anywhere on the chain
+// absorbs the fact (the contract is then visible to callers), as does an
+// in-body recover(); callbacks handed to the worker pool never forward
+// it, since the pool recovers them into *PanicError.
 type panicBoundaryRule struct{}
 
 func (panicBoundaryRule) Name() string { return "panicboundary" }
@@ -230,6 +278,27 @@ func (r panicBoundaryRule) Check(p *Pass) {
 			}
 			return true
 		})
+		// Transitive contract: an undocumented panic escaping through an
+		// exported function that neither documents nor recovers it. The
+		// finding lands on the declaration — the reviewed boundary the
+		// panic crosses unseen.
+		if documented || !fd.Name.IsExported() {
+			return
+		}
+		fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+		n := p.Facts.nodeOf(fn)
+		if n == nil || n.hasRecover {
+			return
+		}
+		for i := range n.edges {
+			e := &n.edges[i]
+			if e.kind != edgeCall || e.callee == n || e.callee.escPanic == nil {
+				continue
+			}
+			chain := append([]string{n.label()}, p.Facts.panicChain(e.callee)...)
+			p.ReportChainf(fd, chain, "exported %s can panic via %s (%s) but its doc comment does not say so; document the invariant or recover at the boundary", fd.Name.Name, e.callee.fn.Name(), chainString(chain))
+			break
+		}
 	})
 }
 

@@ -1,0 +1,186 @@
+// SARIF 2.1.0 output: the interchange format GitHub code scanning ingests
+// to annotate pull requests. The writer emits one run with the full rule
+// registry as the tool's rule metadata and one result per diagnostic,
+// with module-root-relative, percent-escaped artifact URIs. Everything is
+// emitted in the canonical diagnostic order over sorted structures, so
+// two runs over one tree are byte-identical — the analyzer's own output
+// honours the determinism contract it enforces.
+
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// sarifSchemaURI and sarifVersion pin the emitted format; the golden
+// snapshot test validates the shape against this contract.
+const (
+	sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion   = "2.1.0"
+)
+
+// The sarif* types mirror the subset of the 2.1.0 schema the writer
+// emits; TestSARIFGolden decodes the snapshot back through them with
+// unknown fields disallowed.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string          `json:"name"`
+	InformationURI string          `json:"informationUri"`
+	Rules          []sarifRuleDesc `json:"rules"`
+}
+
+type sarifRuleDesc struct {
+	ID                   string       `json:"id"`
+	ShortDescription     sarifMessage `json:"shortDescription"`
+	DefaultConfiguration sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLevel maps the repo's severities onto SARIF result levels.
+func sarifLevel(s Severity) string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// escapeSARIFURI percent-escapes a slash-separated path for use as a
+// SARIF artifact URI: RFC 3986 unreserved characters and the path
+// separator pass through, everything else (spaces, '%', non-ASCII bytes)
+// becomes %XX with uppercase hex, so the escaping round-trips through any
+// standard URI decoder. FuzzSARIFEscape holds that property.
+func escapeSARIFURI(path string) string {
+	var b strings.Builder
+	for i := 0; i < len(path); i++ {
+		c := path[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '.', c == '_', c == '~', c == '/':
+			b.WriteByte(c)
+		default:
+			const hex = "0123456789ABCDEF"
+			b.WriteByte('%')
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&0xF])
+		}
+	}
+	return b.String()
+}
+
+// relPath renders file relative to the module root with forward slashes;
+// files outside the root keep their absolute path (still valid SARIF,
+// just not repo-relative).
+func relPath(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// WriteSARIF renders the result as a SARIF 2.1.0 log. root is the module
+// root; artifact URIs are emitted relative to it under the SRCROOT base
+// id, which is what code-scanning uploads expect.
+func WriteSARIF(w io.Writer, res Result, root string) error {
+	rules := Rules()
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Name() < rules[j].Name() })
+	ruleIndex := map[string]int{}
+	descs := make([]sarifRuleDesc, len(rules))
+	for i, r := range rules {
+		ruleIndex[r.Name()] = i
+		descs[i] = sarifRuleDesc{
+			ID:                   r.Name(),
+			ShortDescription:     sarifMessage{Text: r.Doc()},
+			DefaultConfiguration: sarifConfig{Level: sarifLevel(r.Severity())},
+		}
+	}
+	results := make([]sarifResult, 0, len(res.Diags))
+	for _, d := range res.Diags {
+		// Transitive messages already render their chain inline.
+		msg := d.Message
+		idx, ok := ruleIndex[d.Rule]
+		if !ok {
+			idx = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: idx,
+			Level:     sarifLevel(d.Severity),
+			Message:   sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       escapeSARIFURI(relPath(root, d.File)),
+						URIBaseID: "SRCROOT",
+					},
+					Region: sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "supernpu-lint", InformationURI: "https://github.com/supernpu/supernpu", Rules: descs}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

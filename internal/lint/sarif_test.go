@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runFixtureSARIF loads the ndcross fixture closure, runs the
+// nondeterminism rule over it, and renders the result as SARIF relative
+// to the module root, so every artifact URI in the log is a stable
+// repo-relative path.
+func runFixtureSARIF(t *testing.T) []byte {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := loadFixtureClosure(t, "ndcross")
+	res := Run(pkgs, []Rule{RuleByName("nondeterminism")})
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, res, root); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSARIFGolden pins the writer's output byte-for-byte against the
+// committed snapshot and decodes the snapshot back through the schema
+// mirror types with unknown fields disallowed, so any drift in either
+// the emitted shape or the 2.1.0 subset we claim to emit fails loudly.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/lint -run SARIFGolden.
+func TestSARIFGolden(t *testing.T) {
+	got := runFixtureSARIF(t)
+	golden := filepath.Join("testdata", "golden", "lint.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SARIF output drifted from golden snapshot %s; rerun with UPDATE_GOLDEN=1 if the change is intended\ngot:\n%s", golden, got)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(want))
+	dec.DisallowUnknownFields()
+	var log sarifLog
+	if err := dec.Decode(&log); err != nil {
+		t.Fatalf("golden does not decode through the schema mirror types: %v", err)
+	}
+	if log.Schema != sarifSchemaURI || log.Version != sarifVersion {
+		t.Errorf("schema pin drifted: %s %s", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "supernpu-lint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(Rules()) {
+		t.Errorf("driver lists %d rules, registry has %d", len(run.Tool.Driver.Rules), len(Rules()))
+	}
+	if len(run.Results) < 2 {
+		t.Fatalf("fixture run produced %d results, want the two ndcross findings", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result ruleIndex %d does not point at rule %s", r.RuleIndex, r.RuleID)
+		}
+		for _, loc := range r.Locations {
+			art := loc.PhysicalLocation.ArtifactLocation
+			if art.URIBaseID != "SRCROOT" {
+				t.Errorf("uriBaseId %q, want SRCROOT", art.URIBaseID)
+			}
+			if strings.HasPrefix(art.URI, "/") || strings.Contains(art.URI, "..") {
+				t.Errorf("artifact URI %q is not repo-relative", art.URI)
+			}
+			if loc.PhysicalLocation.Region.StartLine <= 0 {
+				t.Errorf("result for %s has no line", art.URI)
+			}
+		}
+	}
+}
+
+// TestRunByteIdentity performs two fully independent load+run passes and
+// demands byte-identical text, JSON, and SARIF renderings — the
+// analyzer's own output must honour the determinism contract it
+// enforces, including across map-heavy structures like the call graph.
+func TestRunByteIdentity(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() (text, jsonOut, sarif []byte) {
+		t.Helper()
+		pkgs := loadFixtureClosure(t, "sharedmut")
+		pkgs = append(pkgs, loadFixtureClosure(t, "ndcross")...)
+		res := Run(pkgs, Rules())
+		if len(res.Diags) == 0 {
+			t.Fatal("fixture run produced no findings; identity check would be vacuous")
+		}
+		var tb, jb, sb bytes.Buffer
+		WriteText(&tb, res)
+		if err := WriteJSON(&jb, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSARIF(&sb, res, root); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), jb.Bytes(), sb.Bytes()
+	}
+	t1, j1, s1 := render()
+	t2, j2, s2 := render()
+	if !bytes.Equal(t1, t2) {
+		t.Error("text output differs between two identical runs")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON output differs between two identical runs")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Error("SARIF output differs between two identical runs")
+	}
+}
+
+// TestBaselineRoundTrip writes the current findings as a baseline and
+// re-applies it: everything must be absorbed with nothing stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := loadFixtureClosure(t, "ndcross")
+	res := Run(pkgs, []Rule{RuleByName("nondeterminism")})
+	if len(res.Diags) < 2 {
+		t.Fatalf("fixture produced %d findings, want at least 2", len(res.Diags))
+	}
+
+	b := NewBaseline(res, root)
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, stale := ApplyBaseline(res, root, loaded)
+	if len(fresh.Diags) != 0 {
+		t.Errorf("round-trip left %d fresh finding(s): %v", len(fresh.Diags), fresh.Diags)
+	}
+	if len(stale) != 0 {
+		t.Errorf("round-trip reported %d stale entr(ies): %v", len(stale), stale)
+	}
+}
+
+// TestBaselineCountExceeded verifies the per-identity count: baselining
+// one finding of an identity the tree produces twice leaves exactly one
+// fresh.
+func TestBaselineCountExceeded(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := loadFixtureClosure(t, "ndcross")
+	res := Run(pkgs, []Rule{RuleByName("nondeterminism")})
+	full := NewBaseline(res, root)
+	if len(full.Findings) == 0 {
+		t.Fatal("no findings to baseline")
+	}
+	// Duplicate the first diagnostic so its identity count exceeds the
+	// baseline by one.
+	res.Diags = append(res.Diags, res.Diags[0])
+	fresh, stale := ApplyBaseline(res, root, full)
+	if len(fresh.Diags) != 1 {
+		t.Fatalf("got %d fresh finding(s), want 1 (the over-count)", len(fresh.Diags))
+	}
+	if fresh.Diags[0].Rule != res.Diags[0].Rule || fresh.Diags[0].Symbol != res.Diags[0].Symbol {
+		t.Errorf("fresh finding %v is not the duplicated identity", fresh.Diags[0])
+	}
+	if len(stale) != 0 {
+		t.Errorf("unexpected stale entries: %v", stale)
+	}
+}
+
+// TestBaselineStale verifies entries the tree no longer produces are
+// surfaced for deletion rather than silently kept.
+func TestBaselineStale(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := loadFixtureClosure(t, "ndcross")
+	res := Run(pkgs, []Rule{RuleByName("nondeterminism")})
+	b := NewBaseline(res, root)
+	b.Findings = append(b.Findings, BaselineEntry{
+		Rule: "nondeterminism", File: "internal/gone/gone.go", Symbol: "Vanished", Count: 2,
+	})
+	fresh, stale := ApplyBaseline(res, root, b)
+	if len(fresh.Diags) != 0 {
+		t.Errorf("got %d fresh finding(s), want 0", len(fresh.Diags))
+	}
+	if len(stale) != 1 || stale[0].Symbol != "Vanished" || stale[0].Count != 2 {
+		t.Errorf("stale = %v, want the Vanished entry with count 2", stale)
+	}
+}
+
+// TestLoadBaselineRejectsVersion pins the version gate.
+func TestLoadBaselineRejectsVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version":2,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("version 2 baseline loaded without error")
+	}
+}
+
+// FuzzSARIFEscape holds the escaping contract: the output contains only
+// bytes legal in a SARIF artifact URI path, and decoding it with a
+// standard percent-decoder recovers the input exactly.
+func FuzzSARIFEscape(f *testing.F) {
+	f.Add("internal/lint/lint.go")
+	f.Add("path with spaces/ünïcode.go")
+	f.Add("100%/a+b&c#d?e.go")
+	f.Add("")
+	f.Add("%%%")
+	f.Fuzz(func(t *testing.T, path string) {
+		esc := escapeSARIFURI(path)
+		for i := 0; i < len(esc); i++ {
+			c := esc[i]
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+				c == '-', c == '.', c == '_', c == '~', c == '/', c == '%':
+			default:
+				t.Fatalf("escapeSARIFURI(%q) emitted illegal byte %q in %q", path, c, esc)
+			}
+		}
+		round, err := url.PathUnescape(esc)
+		if err != nil {
+			t.Fatalf("escapeSARIFURI(%q) = %q does not decode: %v", path, esc, err)
+		}
+		if round != path {
+			t.Fatalf("round-trip lost data: %q -> %q -> %q", path, esc, round)
+		}
+	})
+}

@@ -1,0 +1,20 @@
+// Fixture for the transitive ctxflow contract. The package clause says
+// scalesim (a modeling package). Sweep itself has no loop and no direct
+// context-aware callee — the intraprocedural check sees nothing — but the
+// loop driving a context-aware Step sits two hops down in ctxhelper, so
+// the loopyHot fact must carry the finding back to the exported entry
+// point, across the package boundary.
+package scalesim
+
+import "supernpu/internal/lint/testdata/src/ctxhelper"
+
+// Sweep fans a sweep out through the helper; the caller can never cancel
+// it.
+func Sweep(n int) int { // want "does not accept a context.Context"
+	return ctxhelper.Drive(n)
+}
+
+// Pure drives the helper's compliant loop; nothing to thread.
+func Pure(n int) int {
+	return ctxhelper.Mul(n)
+}

@@ -1,0 +1,37 @@
+// Fixture helper for the transitive ctxflow tests: a non-modeling utility
+// package whose Drive loops over a context-aware step while feeding it a
+// stashed root context. ctxflow's manufactured-context contract does not
+// gate this package (not a modeling name), so the stranded loop is only
+// visible to modeling callers through the loopyHot fact.
+package ctxhelper
+
+import "context"
+
+var stash = context.Background()
+
+// Step is the context-aware callee.
+func Step(ctx context.Context, i int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return i
+}
+
+// Drive loops over Step without accepting a context — the stranded frame
+// sits one hop below any caller.
+func Drive(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += Step(stash, i)
+	}
+	return total
+}
+
+// Mul is the compliant shape: a loop over pure arithmetic.
+func Mul(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

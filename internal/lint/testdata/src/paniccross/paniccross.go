@@ -1,0 +1,37 @@
+// Fixture for the transitive panicboundary contract: an internal package
+// whose exported surface reaches an undocumented panic two hops down and
+// across a package boundary (Checked → Validate → explode → panic).
+// Documentation on the caller or anywhere along the chain absorbs the
+// fact, as does a recover at the boundary.
+package pcross
+
+import "supernpu/internal/lint/testdata/src/panichelper"
+
+// Checked validates its input through the helper; nothing here warns the
+// caller that a negative input brings the process down.
+func Checked(x int) int { // want "can panic via Validate"
+	return panichelper.Validate(x)
+}
+
+// Documented validates its input through the helper and panics when the
+// input is negative — saying so makes the trap part of the contract.
+func Documented(x int) int {
+	return panichelper.Validate(x)
+}
+
+// Shielded validates through the helper but converts the trap to a
+// sentinel value at this boundary.
+func Shielded(x int) (out int) {
+	defer func() {
+		if recover() != nil {
+			out = -1
+		}
+	}()
+	return panichelper.Validate(x)
+}
+
+// Guarded calls the helper's documented invariant trap; the documentation
+// on MustPos absorbs the fact before it reaches this frame.
+func Guarded(x int) int {
+	return panichelper.MustPos(x)
+}

@@ -1,0 +1,27 @@
+// Fixture helper for the transitive panicboundary tests: an internal
+// package (the fixture import path sits under internal/) whose exported
+// Validate delegates to an undocumented panicking helper, and whose
+// MustPos documents its own panic.
+package panichelper
+
+// Validate checks its input by delegating to explode; nothing in this
+// comment warns the caller about what happens on bad input.
+func Validate(x int) int { // want "can panic via explode"
+	return explode(x)
+}
+
+func explode(x int) int {
+	if x < 0 {
+		panic("panichelper: negative input") // want "doc comment does not say so"
+	}
+	return x
+}
+
+// MustPos returns x unchanged and panics when x is negative — the
+// documented invariant-trap shape; the fact is absorbed here.
+func MustPos(x int) int {
+	if x < 0 {
+		panic("panichelper: negative input")
+	}
+	return x
+}

@@ -1,0 +1,98 @@
+// Fixture for the sharedmut rule: callbacks handed to the worker pool
+// writing state captured from the enclosing scope. The violations cover
+// the direct shapes (captured scalar, captured map entry, captured-slice
+// append) and the interprocedural ones (a callback calling a helper whose
+// call graph writes a package-level variable two hops down, and a named
+// function handed to the pool with the same fact). The compliant shapes —
+// per-index writes into a captured slice, mutex-guarded aggregation,
+// callback-local state — must stay silent.
+package sweep
+
+import (
+	"sync"
+
+	"supernpu/internal/lint/testdata/src/smhelper"
+	"supernpu/internal/parallel"
+)
+
+// CaptureSum races every worker on one captured accumulator.
+func CaptureSum(n int) (float64, error) {
+	sum := 0.0
+	err := parallel.ForEach(n, func(i int) error {
+		sum += float64(i) // want "writes the variable sum"
+		return nil
+	})
+	return sum, err
+}
+
+// CaptureMap races every worker on one captured map header.
+func CaptureMap(keys []string) (map[string]bool, error) {
+	seen := map[string]bool{}
+	err := parallel.ForEach(len(keys), func(i int) error {
+		seen[keys[i]] = true // want "an entry of the map seen"
+		return nil
+	})
+	return seen, err
+}
+
+// CaptureAppend races every worker on the captured slice header.
+func CaptureAppend(n int) ([]int, error) {
+	var out []int
+	err := parallel.ForEach(n, func(i int) error {
+		out = append(out, i) // want "writes the variable out"
+		return nil
+	})
+	return out, err
+}
+
+// ChainMut hides the shared write two calls down in another package.
+func ChainMut(n int) error {
+	return parallel.ForEach(n, func(i int) error {
+		smhelper.Record(i) // want "mutates shared state"
+		return nil
+	})
+}
+
+// NamedMut hands the pool a named callback whose call graph writes a
+// package-level variable.
+func NamedMut(n int) ([]int, error) {
+	return parallel.Map(n, smhelper.Tally) // want "mutates shared state"
+}
+
+// GoodIndexed is the pool's order-preserving idiom: each worker owns its
+// index, so the captured slice is written without overlap.
+func GoodIndexed(n int) ([]int, error) {
+	out := make([]int, n)
+	err := parallel.ForEach(n, func(i int) error {
+		out[i] = i * i
+		return nil
+	})
+	return out, err
+}
+
+// GoodLocked aggregates under a mutex; the callback synchronizes itself.
+func GoodLocked(n int) (int, error) {
+	var mu sync.Mutex
+	total := 0
+	err := parallel.ForEach(n, func(i int) error {
+		mu.Lock()
+		total += i
+		mu.Unlock()
+		return nil
+	})
+	return total, err
+}
+
+// GoodLocal keeps all mutation on callback-local state.
+func GoodLocal(n int) ([]float64, error) {
+	return parallel.Map(n, func(i int) (float64, error) {
+		x := float64(i)
+		x *= x
+		return x, nil
+	})
+}
+
+// GoodNamed hands the pool a pure named callback.
+func GoodNamed(n int) ([]int, error) {
+	return parallel.Map(n, smhelper.Scale)
+}

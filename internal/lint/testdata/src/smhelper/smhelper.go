@@ -1,0 +1,27 @@
+// Fixture helper for the transitive sharedmut tests: a utility package
+// whose exported surface bottoms out in an unsynchronized write to a
+// package-level accumulator, two hops down (Record → note → hits).
+package smhelper
+
+var hits int
+
+// Record accumulates one observation into the package-level tally.
+func Record(i int) {
+	note(i)
+}
+
+func note(i int) {
+	hits += i
+}
+
+// Tally records and echoes its index — the named-callback shape handed
+// straight to the pool.
+func Tally(i int) (int, error) {
+	note(i)
+	return i, nil
+}
+
+// Scale is the compliant shape: pure arithmetic.
+func Scale(i int) (int, error) {
+	return i * 2, nil
+}
