@@ -6,7 +6,7 @@ GO ?= go
 
 # Per-package coverage floors enforced by make cover / CI, as
 # "<import path>:<floor percent>" pairs.
-COVER_PACKAGES ?= ./internal/server:70 ./internal/obs:80 ./internal/checkpoint:70
+COVER_PACKAGES ?= ./internal/server:70 ./internal/obs:80 ./internal/checkpoint:70 ./internal/simcache:85
 # Per-target budget for the fuzz smoke pass (make fuzz).
 FUZZTIME ?= 15s
 
@@ -60,20 +60,29 @@ bench-sweep:
 
 # Recorded perf trajectory: run the solver and sweep benchmarks with
 # allocation counting and check the measurements in as a sorted-key JSON
-# artifact. Compare BENCH_PR*.json files across PRs to see the trend.
-BENCH_JSON ?= BENCH_PR6.json
+# artifact. Compare BENCH_PR*.json files across PRs with
+# `go run ./cmd/benchjson -compare` to see the trend.
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	$(GO) test -run=NONE -bench='BenchmarkRun|BenchmarkBiasMargins' -benchmem ./internal/jsim \
 		> bench-json.tmp
-	$(GO) test -run=NONE -bench='BenchmarkMarginSweepCold|BenchmarkJSIMTransient' -benchmem . \
+	$(GO) test -run=NONE -bench='BenchmarkMarginSweepCold|BenchmarkJSIMTransient|BenchmarkFig20BufferSweepWarm' -benchmem . \
 		>> bench-json.tmp
 	$(GO) run ./cmd/benchjson < bench-json.tmp > $(BENCH_JSON)
 	@rm -f bench-json.tmp
 	@echo "wrote $(BENCH_JSON)"
 
-# CI smoke: every benchmark must still compile and survive one iteration.
+# Regression gate for the -compare drift check: fail the smoke when a
+# shared benchmark's recorded ns/op grew past this ratio.
+BENCH_THRESHOLD ?= 1.5
+
+# CI smoke: every benchmark must still compile and survive one iteration,
+# plus a warm-sweep pass and the recorded-trajectory drift gate between
+# the two committed artifacts.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench='BenchmarkFig20BufferSweepWarm' -benchtime=3x .
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) BENCH_PR6.json BENCH_PR10.json
 
 repro:
 	$(GO) run ./cmd/supernpu-repro -v

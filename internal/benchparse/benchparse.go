@@ -11,6 +11,7 @@ package benchparse
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -114,4 +115,94 @@ func num(v float64) string {
 		return "null"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonResult mirrors one RenderJSON value for reading artifacts back;
+// pointers distinguish JSON null (absent measurement) from zero.
+type jsonResult struct {
+	NsPerOp     *float64 `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// ParseJSON reads a benchjson artifact (the RenderJSON format) back into
+// measurements by benchmark name, with null measurements restored to -1.
+func ParseJSON(rd io.Reader) (map[string]Result, error) {
+	var raw map[string]jsonResult
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("benchjson artifact: %w", err)
+	}
+	rows := make(map[string]Result, len(raw))
+	for name, jr := range raw {
+		r := Result{NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+		if jr.NsPerOp != nil {
+			r.NsPerOp = *jr.NsPerOp
+		}
+		if jr.BytesPerOp != nil {
+			r.BytesPerOp = *jr.BytesPerOp
+		}
+		if jr.AllocsPerOp != nil {
+			r.AllocsPerOp = *jr.AllocsPerOp
+		}
+		rows[name] = r
+	}
+	return rows, nil
+}
+
+// Delta is one benchmark's ns/op movement between two recorded artifacts.
+type Delta struct {
+	Name         string
+	OldNs, NewNs float64
+	// Ratio is NewNs/OldNs: above 1 the benchmark got slower.
+	Ratio float64
+}
+
+// Compare matches two artifacts by benchmark name and returns the ns/op
+// deltas over their intersection, sorted by name. Benchmarks present on
+// only one side (added or retired) or without an ns/op measurement are
+// skipped — the comparison gates drift on the shared trajectory, it does
+// not demand identical benchmark sets across PRs.
+func Compare(old, cur map[string]Result) []Delta {
+	var deltas []Delta
+	for name, o := range old {
+		n, ok := cur[name]
+		if !ok || o.NsPerOp <= 0 || n.NsPerOp < 0 {
+			continue
+		}
+		deltas = append(deltas, Delta{Name: name, OldNs: o.NsPerOp, NewNs: n.NsPerOp, Ratio: n.NsPerOp / o.NsPerOp})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// Regressions filters deltas to those whose slowdown ratio exceeds the
+// threshold (e.g. 1.5 = fail anything more than 50% slower).
+func Regressions(deltas []Delta, threshold float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Ratio > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RenderCompare renders deltas as an aligned text table with a
+// human-readable ratio column.
+func RenderCompare(deltas []Delta) string {
+	var b strings.Builder
+	w := len("benchmark")
+	for _, d := range deltas {
+		if len(d.Name) > w {
+			w = len(d.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %14s  %14s  %7s\n", w, "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "%-*s  %14s  %14s  %6.2fx\n", w, d.Name,
+			strconv.FormatFloat(d.OldNs, 'g', -1, 64),
+			strconv.FormatFloat(d.NewNs, 'g', -1, 64), d.Ratio)
+	}
+	return b.String()
 }

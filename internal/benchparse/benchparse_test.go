@@ -2,6 +2,7 @@ package benchparse
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -148,5 +149,90 @@ func TestRenderJSON(t *testing.T) {
 	}
 	if out != RenderJSON(rows) {
 		t.Error("RenderJSON is not deterministic across calls")
+	}
+}
+
+func TestParseJSONRoundTrip(t *testing.T) {
+	rows := map[string]Result{
+		"BenchmarkFast": {NsPerOp: 1234.5, BytesPerOp: 64, AllocsPerOp: 2},
+		"BenchmarkBare": {NsPerOp: 9, BytesPerOp: -1, AllocsPerOp: -1},
+	}
+	back, err := ParseJSON(strings.NewReader(RenderJSON(rows)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rows) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, rows)
+	}
+}
+
+func TestParseJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input parsed without error")
+	}
+}
+
+func TestCompareIntersectionAndRatios(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkShared":  {NsPerOp: 100},
+		"BenchmarkRetired": {NsPerOp: 50},
+		"BenchmarkNoNs":    {NsPerOp: -1, AllocsPerOp: 3},
+		"BenchmarkZero":    {NsPerOp: 0},
+	}
+	cur := map[string]Result{
+		"BenchmarkShared": {NsPerOp: 150},
+		"BenchmarkAdded":  {NsPerOp: 7},
+		"BenchmarkNoNs":   {NsPerOp: 5},
+		"BenchmarkZero":   {NsPerOp: 5},
+	}
+	deltas := Compare(old, cur)
+	want := []Delta{{Name: "BenchmarkShared", OldNs: 100, NewNs: 150, Ratio: 1.5}}
+	if !reflect.DeepEqual(deltas, want) {
+		t.Errorf("Compare = %+v, want %+v", deltas, want)
+	}
+}
+
+func TestCompareSortsByName(t *testing.T) {
+	old := map[string]Result{"BenchmarkB": {NsPerOp: 1}, "BenchmarkA": {NsPerOp: 2}, "BenchmarkC": {NsPerOp: 3}}
+	deltas := Compare(old, old)
+	if len(deltas) != 3 || deltas[0].Name != "BenchmarkA" || deltas[1].Name != "BenchmarkB" || deltas[2].Name != "BenchmarkC" {
+		t.Errorf("deltas not sorted by name: %+v", deltas)
+	}
+	for _, d := range deltas {
+		if d.Ratio != 1 {
+			t.Errorf("self-comparison ratio %v != 1 for %s", d.Ratio, d.Name)
+		}
+	}
+}
+
+func TestRegressionsThreshold(t *testing.T) {
+	deltas := []Delta{
+		{Name: "BenchmarkOK", Ratio: 1.2},
+		{Name: "BenchmarkEdge", Ratio: 1.5},
+		{Name: "BenchmarkBad", Ratio: 1.51},
+	}
+	regs := Regressions(deltas, 1.5)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkBad" {
+		t.Errorf("Regressions = %+v, want only BenchmarkBad", regs)
+	}
+	if got := Regressions(deltas, 2); len(got) != 0 {
+		t.Errorf("Regressions above all ratios = %+v, want none", got)
+	}
+}
+
+func TestRenderCompareTable(t *testing.T) {
+	out := RenderCompare([]Delta{
+		{Name: "BenchmarkShared", OldNs: 100, NewNs: 150, Ratio: 1.5},
+		{Name: "BenchmarkLongerName", OldNs: 2000, NewNs: 1000, Ratio: 0.5},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "benchmark") || !strings.Contains(lines[0], "ratio") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1.50x") || !strings.Contains(lines[2], "0.50x") {
+		t.Errorf("ratios not rendered:\n%s", out)
 	}
 }

@@ -71,3 +71,37 @@ func LayersKey(n Network) string { // want "never reads l.W"
 	}
 	return b.String()
 }
+
+// Proj and Dims mirror the layer-grain projection keys: a reduced config
+// projection plus a name-free shape, keyed together with the shape side
+// delegated to a shared append helper.
+type Proj struct {
+	Height, Width int
+	CyclesPerByte float64
+}
+
+type Dims struct {
+	H, W int
+}
+
+func LayerKey(p Proj, d Dims) string { // want "never reads p.CyclesPerByte"
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(p.Height))
+	b.WriteString(strconv.Itoa(p.Width))
+	appendDims(&b, d)
+	return b.String()
+}
+
+func FullLayerKey(p Proj, d Dims) string { // ok: direct reads plus delegation
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(p.Height))
+	b.WriteString(strconv.Itoa(p.Width))
+	b.WriteString(strconv.FormatFloat(p.CyclesPerByte, 'g', -1, 64))
+	appendDims(&b, d)
+	return b.String()
+}
+
+func appendDims(b *strings.Builder, d Dims) {
+	b.WriteString(strconv.Itoa(d.H))
+	b.WriteString(strconv.Itoa(d.W))
+}

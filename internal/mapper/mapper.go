@@ -6,7 +6,18 @@
 // two models are tied to one mapping policy.
 package mapper
 
-import "supernpu/internal/workload"
+import (
+	"supernpu/internal/simcache"
+	"supernpu/internal/workload"
+)
+
+// tileCache memoises Tiles by (layer shape, array geometry): the same tile
+// plans are re-derived at every sweep point and batch resolution of
+// Figs. 20–22. Cached slices are shared between callers and must be
+// treated as read-only.
+var tileCache = simcache.New[[]Tile]()
+
+func init() { simcache.Register("mapper.tiles", tileCache) }
 
 // Tile is one weight mapping.
 type Tile struct {
@@ -36,10 +47,24 @@ type Tile struct {
 // Depthwise layers reduce within one channel only, so each channel maps
 // separately onto R·S rows and a single column — the structural
 // underutilisation the paper observes on MobileNet.
+//
+// Results are memoised by (layer shape, height, width, registers) while
+// layer-grain caching is enabled; the returned slice is then shared
+// between callers, who must not modify it.
 func Tiles(l workload.Layer, height, width, registers int) []Tile {
 	if l.Kind == workload.Pool {
 		return nil
 	}
+	if !simcache.LayerGrainEnabled() {
+		return enumerate(l, height, width, registers)
+	}
+	tiles, _ := tileCache.GetOrCompute(simcache.TilesKey(l.Shape(), height, width, registers),
+		func() ([]Tile, error) { return enumerate(l, height, width, registers), nil })
+	return tiles
+}
+
+// enumerate is the uncached tile-plan derivation.
+func enumerate(l workload.Layer, height, width, registers int) []Tile {
 	if l.Kind == workload.DepthwiseConv {
 		tiles := make([]Tile, 0, l.C)
 		rows := l.R * l.S

@@ -1,0 +1,156 @@
+package npusim
+
+// Tests for the layer-grain memoization beneath the whole-simulation
+// cache: the multiplicity property (a shape repeated k times costs one
+// unique simulation and reports k×-scaled totals), byte-identity of the
+// report with the cache on and off, and the faulted path bypassing the
+// cache entirely so per-site fault draws stay untouched.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"supernpu/internal/arch"
+	"supernpu/internal/faultinject"
+	"supernpu/internal/simcache"
+	"supernpu/internal/workload"
+)
+
+// repeatedNet builds a valid network whose k compute layers all share one
+// shape (a 3×3/pad-1/stride-1 conv preserves H×W, and M == C keeps the
+// channel chain consistent).
+func repeatedNet(k int) workload.Network {
+	layers := make([]workload.Layer, k)
+	for i := range layers {
+		layers[i] = workload.Layer{Name: fmt.Sprintf("conv%d", i), Kind: workload.Conv,
+			H: 14, W: 14, C: 64, R: 3, S: 3, M: 64, Stride: 1, Pad: 1}
+	}
+	return workload.Network{Name: fmt.Sprintf("repeat%d", k), Layers: layers}
+}
+
+func TestLayerDedupMultiplicity(t *testing.T) {
+	const k = 6
+	net := repeatedNet(k)
+	cfg := arch.SuperNPU()
+
+	simcache.SetLayerGrain(true)
+	simcache.ClearAll()
+	t.Cleanup(simcache.ClearAll)
+
+	rep, err := Simulate(context.Background(), cfg, net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One unique layer simulation: the dedup warm pass misses once, then
+	// every per-site lookup hits.
+	hits, misses := layerCache.Counters()
+	if misses != 1 {
+		t.Errorf("unique layer simulations executed = %d, want 1", misses)
+	}
+	if hits != k {
+		t.Errorf("layer cache hits = %d, want %d (one per site)", hits, k)
+	}
+
+	// Totals scale by multiplicity; input delivery differs between the
+	// first layer (DRAM) and the rest (on-chip move), so the per-layer
+	// stats of sites 1..k-1 must be identical to each other and every
+	// site must keep its own display name.
+	if len(rep.Layers) != k {
+		t.Fatalf("report has %d layers, want %d", len(rep.Layers), k)
+	}
+	if want := int64(k) * rep.Layers[0].MACs; rep.MACs != want {
+		t.Errorf("total MACs = %d, want %d (k × per-layer)", rep.MACs, want)
+	}
+	if want := int64(k) * rep.Layers[0].ComputeCycles; rep.ComputeCycles != want {
+		t.Errorf("compute cycles = %d, want %d (k × per-layer)", rep.ComputeCycles, want)
+	}
+	for i, st := range rep.Layers {
+		if st.Layer.Name != net.Layers[i].Name {
+			t.Errorf("layer %d kept name %q, want %q", i, st.Layer.Name, net.Layers[i].Name)
+		}
+		if i >= 2 {
+			ref := rep.Layers[1]
+			ref.Layer.Name = st.Layer.Name
+			if st != ref {
+				t.Errorf("layer %d stats differ from layer 1:\n got %+v\nwant %+v", i, st, ref)
+			}
+		}
+	}
+}
+
+func TestLayerGrainOffByteIdentical(t *testing.T) {
+	net := repeatedNet(4)
+	cfg := arch.SuperNPU()
+	t.Cleanup(func() {
+		simcache.SetLayerGrain(true)
+		simcache.ClearAll()
+	})
+
+	simcache.SetLayerGrain(true)
+	simcache.ClearAll()
+	on, err := Simulate(context.Background(), cfg, net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simcache.SetLayerGrain(false)
+	simcache.ClearAll()
+	off, err := Simulate(context.Background(), cfg, net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("report differs with layer-grain caching on vs off:\n on %+v\noff %+v", on, off)
+	}
+}
+
+func TestFaultedPathBypassesLayerCache(t *testing.T) {
+	net := repeatedNet(3)
+	cfg := arch.SuperNPU()
+	fm := &faultinject.Model{Seed: 42, PulseDrop: 1e-6, BitFlip: 1e-8}
+
+	simcache.SetLayerGrain(true)
+	simcache.ClearAll()
+	t.Cleanup(simcache.ClearAll)
+
+	if _, err := SimulateFaulted(context.Background(), cfg, net, 1, fm); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := layerCache.Counters()
+	if hits != 0 || misses != 0 {
+		t.Errorf("faulted simulation touched the layer cache (%d hits, %d misses); site-keyed draws must stay per layer", hits, misses)
+	}
+}
+
+func TestNegativeBatchRejectedNonNegativeMessage(t *testing.T) {
+	net := repeatedNet(1)
+	cfg := arch.SuperNPU()
+	_, err := Simulate(context.Background(), cfg, net, -1)
+	if err == nil {
+		t.Fatal("negative batch accepted")
+	}
+	if got := err.Error(); !containsAll(got, "non-negative", "MaxBatch") {
+		t.Errorf("error %q should state the non-negative requirement and the batch-0 convention", got)
+	}
+	_, err = SimulateFaulted(context.Background(), cfg, net, -1, &faultinject.Model{Seed: 1, BitFlip: 1e-9})
+	if err == nil {
+		t.Fatal("negative faulted batch accepted")
+	}
+	if got := err.Error(); !containsAll(got, "non-negative", "MaxBatch") {
+		t.Errorf("faulted error %q should state the non-negative requirement and the batch-0 convention", got)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}

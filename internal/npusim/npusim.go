@@ -26,9 +26,11 @@ import (
 	"supernpu/internal/estimator"
 	"supernpu/internal/faultinject"
 	"supernpu/internal/mapper"
+	"supernpu/internal/obs"
 	"supernpu/internal/parallel"
 	"supernpu/internal/sfq"
 	"supernpu/internal/simcache"
+	"supernpu/internal/srmem"
 	"supernpu/internal/workload"
 )
 
@@ -39,7 +41,28 @@ import (
 // shared between callers and must be treated as read-only.
 var cache = simcache.New[*Report]()
 
-func init() { simcache.Register("npusim", cache) }
+// layerCache memoises the core tile walk of simulateLayer beneath the
+// whole-simulation cache, keyed by (core projection, layer shape, batch).
+// The cached core excludes the per-mapping shift-register unit costs —
+// ifmap recirculation and psum inter-buffer movement — which are linear
+// in the tile counts and applied per caller (applyUnitCosts), so sweep
+// points that vary only buffer division or non-fit-flipping capacity
+// share one walk, as do repeated shapes within one network. Nominal runs
+// only — the faulted path keeps its per-layer site-keyed draws (see
+// simulate).
+var layerCache = simcache.New[layerCore]()
+
+func init() {
+	simcache.Register("npusim", cache)
+	simcache.Register("npusim.layer", layerCache)
+}
+
+// layerSites counts the compute-layer sites accumulated by nominal
+// (fault-free) simulations — each site is one per-layer simulation that
+// would run without the layer-grain cache. Divided by the npusim.layer
+// cache's miss count it yields the measured dedup factor (EXPERIMENTS.md).
+var layerSites = obs.Default.Counter("supernpu_npusim_layer_sites_total",
+	"compute-layer sites accumulated by nominal npusim simulations")
 
 // BatchCap is the paper's conservative batch ceiling: Table II never sets a
 // batch above 30 even when the buffers would hold more ("there is room to
@@ -83,14 +106,14 @@ func MaxBatch(cfg arch.Config, net workload.Network) int {
 }
 
 // layerFits reports whether the layer's batch-B activations stay on-chip.
-func layerFits(cfg arch.Config, l workload.Layer, batch int) bool {
+func layerFits(p simcache.LayerProj, l workload.Layer, batch int) bool {
 	var bIn int
-	if cfg.IfmapChunks == 1 {
-		bIn = cfg.IfmapBufBytes / cfg.ArrayHeight / (l.H * l.W)
+	if p.IfmapChunks == 1 {
+		bIn = p.IfmapBufBytes / p.ArrayHeight / (l.H * l.W)
 	} else {
-		bIn = cfg.IfmapBufBytes / (l.H * l.W * l.C)
+		bIn = p.IfmapBufBytes / (l.H * l.W * l.C)
 	}
-	bOut := cfg.OutputBufBytes / cfg.ArrayWidth / (l.OutH() * l.OutW())
+	bOut := p.OutputBufBytes / p.ArrayWidth / (l.OutH() * l.OutW())
 	return batch <= bIn && batch <= bOut
 }
 
@@ -228,26 +251,73 @@ func (r *Report) PrepFraction() float64 {
 // cyclesPerByte converts DRAM bytes into NPU cycles at frequency f.
 func cyclesPerByte(f, bandwidth float64) float64 { return f / bandwidth }
 
-// simulateLayer runs the weight-mapping loop of one layer, polling for
-// cancellation once per weight mapping so a canceled simulation stops
-// mid-layer instead of charging the full tile walk.
-func simulateLayer(ctx context.Context, cfg arch.Config, l workload.Layer, batch int, cpb float64) (LayerStats, error) {
-	st := LayerStats{Layer: l}
-	if l.Kind == workload.Pool {
-		return st, nil
+// layerCore is the cached portion of one layer simulation: the tile-walk
+// stats without the per-mapping shift-register unit costs, plus the
+// continuing-row tile count those costs multiply against.
+type layerCore struct {
+	Stats       LayerStats // Layer is zeroed; applyUnitCosts restores it
+	NonFirstRow int        // tiles that re-inject partial sums
+}
+
+// recirculateCycles is the per-mapping ifmap repositioning cost: the data
+// consumed by the previous mapping must rotate back to the chunk head
+// before it can stream again — a full-buffer rotation when monolithic,
+// one chunk when divided. The geometry is rebuilt from the projection
+// exactly as arch.Config.IfmapBuf builds it.
+func recirculateCycles(p simcache.LayerProj) int64 {
+	ifBuf := srmem.Config{WidthBytes: p.ArrayHeight, CapacityBytes: p.IfmapBufBytes, Chunks: p.IfmapChunks}
+	return int64(ifBuf.RecirculateCycles())
+}
+
+// psumMoveCycles is the per-continuing-tile partial-sum re-injection
+// cost. Separate psum/ofmap buffers pay the inter-buffer walk
+// (Fig. 16 ①); the integrated buffer just re-selects the chunk, for
+// free. Geometries rebuilt exactly as arch.Config.OutputBuf/PsumBuf.
+func psumMoveCycles(p simcache.LayerProj) int64 {
+	if p.IntegratedOutput {
+		return 0
 	}
+	outBuf := srmem.Config{WidthBytes: p.ArrayWidth, CapacityBytes: p.OutputBufBytes, Chunks: p.OutputChunks}
+	psumBuf := srmem.Config{WidthBytes: p.ArrayWidth, CapacityBytes: p.PsumBufBytes, Chunks: 1}
+	return int64(outBuf.InterBufferMoveCycles(psumBuf, p.PsumBufBytes))
+}
+
+// coreProj reduces the full projection to the fields the cached tile walk
+// reads, resolving the layer's batch-fit decision into its Fits bit. The
+// buffer capacities and divisions drop out here: beyond the fit bit they
+// only reach a layer through the per-mapping unit costs above.
+func coreProj(p simcache.LayerProj, l workload.Layer, batch int) simcache.LayerCoreProj {
+	return simcache.LayerCoreProj{
+		ArrayHeight: p.ArrayHeight, ArrayWidth: p.ArrayWidth,
+		Registers:      p.Registers,
+		PipelineStages: p.PipelineStages,
+		CyclesPerByte:  p.CyclesPerByte,
+		Fits:           layerFits(p, l, batch),
+	}
+}
+
+// simulateLayerCore runs the weight-mapping loop of one layer, polling
+// for cancellation once per weight mapping so a canceled simulation stops
+// mid-layer instead of charging the full tile walk.
+//
+// It reads the configuration only through the reduced core projection
+// (and the layer only through shape-derived quantities), which is what
+// makes the layer-grain cache key complete by construction: two configs
+// with equal core projections cannot produce different cores here.
+func simulateLayerCore(ctx context.Context, cp simcache.LayerCoreProj, l workload.Layer, batch int) (layerCore, error) {
+	var core layerCore
+	st := &core.Stats
 	var w guard.Watch
 	w.Arm(ctx)
 	defer w.Disarm()
 
-	ifBuf, outBuf := cfg.IfmapBuf(), cfg.OutputBuf()
-	fits := layerFits(cfg, l, batch)
 	ef := int64(l.OutH() * l.OutW())
-	peStages := cfg.PECfg().PipelineStages()
+	peStages := cp.PipelineStages
+	cpb := cp.CyclesPerByte
 
-	for _, t := range mapper.Tiles(l, cfg.ArrayHeight, cfg.ArrayWidth, cfg.Registers) {
+	for _, t := range mapper.Tiles(l, cp.ArrayHeight, cp.ArrayWidth, cp.Registers) {
 		if w.Canceled() {
-			return LayerStats{}, w.Err()
+			return layerCore{}, w.Err()
 		}
 		st.Mappings++
 
@@ -263,24 +333,20 @@ func simulateLayer(ctx context.Context, cfg arch.Config, l workload.Layer, batch
 		st.DRAMCycles += int64(float64(wBytes) * cpb)
 		st.DRAMBytes += wBytes
 
-		// Ifmap repositioning: the data consumed by the previous mapping
-		// must rotate back to the chunk head before it can stream again —
-		// a full-buffer rotation when monolithic, one chunk when divided.
-		st.IfmapMoveCycles += int64(ifBuf.RecirculateCycles())
+		// Ifmap streaming (the recirculation charge itself is a per-mapping
+		// unit cost, applied by applyUnitCosts).
 		st.BufferBytes += int64(batch) * int64(l.H*l.W*t.Channels)
 
-		// Partial-sum movement: continuing row tiles must re-inject the
-		// previous partial sums. Separate psum/ofmap buffers pay the
-		// inter-buffer walk (Fig. 16 ①); the integrated buffer just
-		// re-selects the chunk.
-		if !t.FirstRowTile && !cfg.IntegratedOutput {
-			st.PsumMoveCycles += int64(outBuf.InterBufferMoveCycles(cfg.PsumBuf(), cfg.PsumBufBytes))
+		// Continuing row tiles re-inject the previous partial sums; the
+		// per-tile movement charge is likewise applied by applyUnitCosts.
+		if !t.FirstRowTile {
+			core.NonFirstRow++
 		}
 		st.BufferBytes += int64(batch) * ef * int64(t.Filters)
 
 		// Spilled activations: when the batch does not fit, every mapping
 		// re-fetches its ifmap slice from DRAM.
-		if !fits {
+		if !cp.Fits {
 			spill := int64(batch) * int64(l.H*l.W*t.Channels)
 			st.DRAMCycles += int64(float64(spill) * cpb)
 			st.DRAMBytes += spill
@@ -288,11 +354,64 @@ func simulateLayer(ctx context.Context, cfg arch.Config, l workload.Layer, batch
 
 		st.MACs += t.MACs(batch, ef)
 	}
-	return st, nil
+	return core, nil
+}
+
+// applyUnitCosts completes a (possibly cached) core into the caller's
+// LayerStats. The ifmap recirculation and psum movement charges are
+// constant per (continuing) mapping, so they distribute over the walk as
+// exact integer multiples — byte-identical to charging them inside the
+// loop — and the caller's own layer is restored so reports keep their
+// display names.
+func applyUnitCosts(core layerCore, p simcache.LayerProj, l workload.Layer) LayerStats {
+	st := core.Stats
+	st.Layer = l
+	st.IfmapMoveCycles += int64(core.Stats.Mappings) * recirculateCycles(p)
+	st.PsumMoveCycles += int64(core.NonFirstRow) * psumMoveCycles(p)
+	return st
+}
+
+// simulateLayer runs one layer simulation directly, bypassing the
+// layer-grain cache: the core tile walk plus the per-mapping unit costs.
+func simulateLayer(ctx context.Context, p simcache.LayerProj, l workload.Layer, batch int) (LayerStats, error) {
+	if l.Kind == workload.Pool {
+		return LayerStats{Layer: l}, nil
+	}
+	core, err := simulateLayerCore(ctx, coreProj(p, l, batch), l, batch)
+	if err != nil {
+		return LayerStats{}, err
+	}
+	return applyUnitCosts(core, p, l), nil
+}
+
+// simulateLayerCached serves one layer simulation through the layer-grain
+// cache. The cached core is computed from a name-free rehydration of the
+// layer's shape, so every layer of that shape — in this network, any
+// other network, or any sweep point whose core projection matches —
+// shares it. With layer-grain caching disabled it degrades to the direct
+// tile walk.
+func simulateLayerCached(ctx context.Context, p simcache.LayerProj, l workload.Layer, batch int) (LayerStats, error) {
+	if !simcache.LayerGrainEnabled() {
+		return simulateLayer(ctx, p, l, batch)
+	}
+	if l.Kind == workload.Pool {
+		return LayerStats{Layer: l}, nil
+	}
+	shape := l.Shape()
+	cp := coreProj(p, l, batch)
+	core, err := layerCache.GetOrCompute(simcache.LayerKey(cp, shape, batch), func() (layerCore, error) {
+		return simulateLayerCore(ctx, cp, shape.Layer(""), batch)
+	})
+	if err != nil {
+		return LayerStats{}, err
+	}
+	return applyUnitCosts(core, p, l), nil
 }
 
 // Simulate runs the network at the given batch size on the design and
-// returns the full report. A batch of 0 selects MaxBatch automatically.
+// returns the full report. A batch of 0 selects MaxBatch automatically —
+// the batch-0 convention every sweep driver relies on; negative batches
+// are rejected.
 //
 // Results are memoised by (config, network, batch): repeated calls with the
 // same inputs return one shared *Report, which callers must treat as
@@ -302,7 +421,7 @@ func simulateLayer(ctx context.Context, cfg arch.Config, l workload.Layer, batch
 // loop; a canceled computation is evicted from the cache, not memoised.
 func Simulate(ctx context.Context, cfg arch.Config, net workload.Network, batch int) (*Report, error) {
 	if batch < 0 {
-		return nil, fmt.Errorf("npusim: batch %d must be positive", batch)
+		return nil, fmt.Errorf("npusim: batch %d must be non-negative (0 selects MaxBatch)", batch)
 	}
 	return cache.GetOrCompute(simcache.SimKey(cfg, net, batch), func() (*Report, error) {
 		if err := cfg.Validate(); err != nil {
@@ -327,14 +446,15 @@ func Simulate(ctx context.Context, cfg arch.Config, net workload.Network, batch 
 // simulation aborts with a *faultinject.FaultError — the hook the serving
 // pipeline's degraded path exercises. Results are memoised by (config,
 // network, batch, fault key); a disabled model shares Simulate's cache.
-// Every fault draw is site-keyed, so the report is byte-identical across
-// runs and worker counts.
+// As with Simulate, a batch of 0 selects MaxBatch automatically and
+// negative batches are rejected. Every fault draw is site-keyed, so the
+// report is byte-identical across runs and worker counts.
 func SimulateFaulted(ctx context.Context, cfg arch.Config, net workload.Network, batch int, fm *faultinject.Model) (*Report, error) {
 	if !fm.Enabled() {
 		return Simulate(ctx, cfg, net, batch)
 	}
 	if batch < 0 {
-		return nil, fmt.Errorf("npusim: batch %d must be positive", batch)
+		return nil, fmt.Errorf("npusim: batch %d must be non-negative (0 selects MaxBatch)", batch)
 	}
 	return cache.GetOrCompute(simcache.SimKey(cfg, net, batch)+fm.Key(), func() (*Report, error) {
 		if err := cfg.Validate(); err != nil {
@@ -361,10 +481,16 @@ func simSite(cfg arch.Config, net workload.Network, batch int) string {
 // simulate is the uncached simulation. Layers are mutually independent —
 // every cycle charge is a function of the layer's own shape — so their
 // LayerStats fan out across workers; the report accumulates them in layer
-// order afterwards, keeping the totals bit-identical to a serial run. A
-// non-nil enabled fault model charges per-layer pulse-drop retries and
-// counts datapath bit flips; every draw is keyed by the layer's own site,
-// so the fan-out order cannot perturb the result.
+// order afterwards, keeping the totals bit-identical to a serial run.
+//
+// Nominal runs dedup repeated shapes before the fan-out: one warm pass
+// simulates each unique (projection, shape, batch) once through the
+// layer-grain cache, then every site's lookup hits and the LayerStats are
+// replicated by multiplicity. A non-nil enabled fault model disables the
+// dedup — its pulse-drop retries and bit flips are drawn per layer *site*
+// (keyed by the layer's name), so two same-shaped layers legitimately
+// differ — and every draw is keyed by the layer's own site, so the
+// fan-out order cannot perturb the result.
 func simulate(ctx context.Context, cfg arch.Config, net workload.Network, batch int, fm *faultinject.Model) (*Report, error) {
 	est, err := estimator.EstimateFaulted(ctx, cfg, fm)
 	if err != nil {
@@ -377,6 +503,7 @@ func simulate(ctx context.Context, cfg arch.Config, net workload.Network, batch 
 		StaticPower: est.StaticPower,
 	}
 	cpb := cyclesPerByte(est.Frequency, cfg.MemoryBandwidth)
+	proj := simcache.NPULayerProj(cfg, cpb)
 
 	type job struct {
 		idx int // position in net.Layers (0 = network entry)
@@ -395,10 +522,40 @@ func simulate(ctx context.Context, cfg arch.Config, net workload.Network, batch 
 			jobs = append(jobs, job{i, l})
 		}
 	}
+	if !fm.Enabled() {
+		layerSites.Add(int64(len(jobs)))
+		if simcache.LayerGrainEnabled() {
+			// Shape dedup: warm one layer-grain entry per unique shape so
+			// the per-site fan-out below replicates cache hits instead of
+			// re-walking identical tile plans.
+			seen := make(map[workload.Shape]bool, len(jobs))
+			var shapes []workload.Shape
+			for _, j := range jobs {
+				if s := j.l.Shape(); !seen[s] {
+					seen[s] = true
+					shapes = append(shapes, s)
+				}
+			}
+			if len(shapes) < len(jobs) {
+				if _, err := parallel.MapContext(ctx, len(shapes), func(ctx context.Context, k int) (struct{}, error) {
+					_, err := simulateLayerCached(ctx, proj, shapes[k].Layer(""), batch)
+					return struct{}{}, err
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	site := simSite(cfg, net, batch)
 	outs, err := parallel.MapContext(ctx, len(jobs), func(ctx context.Context, k int) (layerOut, error) {
 		j := jobs[k]
-		st, err := simulateLayer(ctx, cfg, j.l, batch, cpb)
+		var st LayerStats
+		var err error
+		if fm.Enabled() {
+			st, err = simulateLayer(ctx, proj, j.l, batch)
+		} else {
+			st, err = simulateLayerCached(ctx, proj, j.l, batch)
+		}
 		if err != nil {
 			return layerOut{}, err
 		}

@@ -1,0 +1,74 @@
+package scalesim
+
+// Layer-grain memoization tests for the CMOS reference simulator: the
+// serial mapping loop dedups repeated shapes through the scalesim.layer
+// cache, and the report is byte-identical with the cache on and off.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"supernpu/internal/simcache"
+	"supernpu/internal/workload"
+)
+
+func repeatedNet(k int) workload.Network {
+	layers := make([]workload.Layer, k)
+	for i := range layers {
+		layers[i] = workload.Layer{Name: fmt.Sprintf("conv%d", i), Kind: workload.Conv,
+			H: 28, W: 28, C: 32, R: 3, S: 3, M: 32, Stride: 1, Pad: 1}
+	}
+	return workload.Network{Name: fmt.Sprintf("repeat%d", k), Layers: layers}
+}
+
+func TestLayerDedupWithinNetwork(t *testing.T) {
+	const k = 5
+	net := repeatedNet(k)
+
+	simcache.SetLayerGrain(true)
+	simcache.ClearAll()
+	t.Cleanup(simcache.ClearAll)
+
+	rep, err := Simulate(context.Background(), TPU(), net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := layerCache.Counters()
+	if misses != 1 {
+		t.Errorf("unique layer walks executed = %d, want 1", misses)
+	}
+	if hits != k-1 {
+		t.Errorf("layer cache hits = %d, want %d", hits, k-1)
+	}
+	if rep.MACs%int64(k) != 0 {
+		t.Errorf("total MACs %d not a multiple of the %d identical layers", rep.MACs, k)
+	}
+}
+
+func TestLayerGrainOffByteIdentical(t *testing.T) {
+	net := repeatedNet(3)
+	t.Cleanup(func() {
+		simcache.SetLayerGrain(true)
+		simcache.ClearAll()
+	})
+
+	simcache.SetLayerGrain(true)
+	simcache.ClearAll()
+	on, err := Simulate(context.Background(), TPU(), net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simcache.SetLayerGrain(false)
+	simcache.ClearAll()
+	off, err := Simulate(context.Background(), TPU(), net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("report differs with layer-grain caching on vs off:\n on %+v\noff %+v", on, off)
+	}
+}

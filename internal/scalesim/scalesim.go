@@ -25,7 +25,16 @@ import (
 // read-only.
 var cache = simcache.New[*Report]()
 
-func init() { simcache.Register("scalesim", cache) }
+// layerCache memoises the per-layer tile walk beneath the whole-simulation
+// cache, keyed by (projection, layer shape, batch): repeated shapes within
+// a network and across sweep points that hold the projection constant
+// share one walk.
+var layerCache = simcache.New[layerCost]()
+
+func init() {
+	simcache.Register("scalesim", cache)
+	simcache.Register("scalesim.layer", layerCache)
+}
 
 // Config describes the CMOS accelerator.
 type Config struct {
@@ -89,7 +98,7 @@ type Report struct {
 // cache, not memoised.
 func Simulate(ctx context.Context, cfg Config, net workload.Network, batch int) (*Report, error) {
 	if batch < 0 {
-		return nil, fmt.Errorf("scalesim: batch %d must be positive", batch)
+		return nil, fmt.Errorf("scalesim: batch %d must be non-negative (0 selects MaxBatch)", batch)
 	}
 	key := simcache.Fingerprint(cfg, simcache.NetworkKey(net), batch)
 	return cache.GetOrCompute(key, func() (*Report, error) {
@@ -105,12 +114,83 @@ func Simulate(ctx context.Context, cfg Config, net workload.Network, batch int) 
 	})
 }
 
+// layerCost is one compute layer's cached charge set: the cycle classes
+// accumulated before the per-layer stall comparison, plus its MACs.
+type layerCost struct {
+	Compute, DRAM, MACs int64
+}
+
+// simulateLayer charges one compute layer's tile walk. It reads the
+// configuration only through its ScaleProj projection and the layer only
+// through its shape, which is what makes the layer-grain key complete by
+// construction. Every truncation stays per-tile, bit-identical to the
+// pre-cache inline loop.
+func simulateLayer(p simcache.ScaleProj, s workload.Shape, batch int) layerCost {
+	l := s.Layer("")
+	h, w := p.ArrayHeight, p.ArrayWidth
+	cpb := p.CyclesPerByte
+	ef := int64(l.OutH() * l.OutW())
+	fits := int64(batch)*l.WorkingSetBytes() <= p.BufferBytes
+
+	type tile struct{ rows, filters, channels int }
+	var tiles []tile
+	if l.Kind == workload.DepthwiseConv {
+		for c := 0; c < l.C; c++ {
+			tiles = append(tiles, tile{rows: min(l.R*l.S, h), filters: 1, channels: 1})
+		}
+	} else {
+		rsc := l.R * l.S * l.C
+		for rt := 0; rt < (rsc+h-1)/h; rt++ {
+			rows := min(h, rsc-rt*h)
+			for m := 0; m < l.M; m += w {
+				tiles = append(tiles, tile{
+					rows: rows, filters: min(w, l.M-m),
+					channels: (rows + l.R*l.S - 1) / (l.R * l.S),
+				})
+			}
+		}
+	}
+
+	var cost layerCost
+	for _, t := range tiles {
+		// Streaming compute plus array fill/drain and column loading.
+		cost.Compute += int64(batch)*ef + int64(2*t.rows+t.filters)
+		// Weight fetch.
+		wBytes := int64(t.rows) * int64(t.filters)
+		cost.DRAM += int64(float64(wBytes) * cpb)
+		// Spilled activations re-fetch per mapping.
+		if !fits {
+			spill := int64(batch) * int64(l.H*l.W*t.channels)
+			cost.DRAM += int64(float64(spill) * cpb)
+		}
+		cost.MACs += int64(batch) * ef * int64(t.rows) * int64(t.filters)
+	}
+	return cost
+}
+
+// simulateLayerCached serves one layer's charges through the layer-grain
+// cache, or directly when layer-grain caching is disabled.
+func simulateLayerCached(p simcache.ScaleProj, s workload.Shape, batch int) layerCost {
+	if !simcache.LayerGrainEnabled() {
+		return simulateLayer(p, s, batch)
+	}
+	c, _ := layerCache.GetOrCompute(simcache.ScaleLayerKey(p, s, batch),
+		func() (layerCost, error) { return simulateLayer(p, s, batch), nil })
+	return c
+}
+
 // simulate is the uncached mapping loop, polling for cancellation once per
-// layer.
+// layer. Per-layer charges come through the layer-grain cache; the
+// serial walk dedups repeated shapes automatically (first occurrence
+// misses, the rest hit). Input delivery and stall resolution stay per
+// site, outside the cached function.
 func simulate(ctx context.Context, cfg Config, net workload.Network, batch int) (*Report, error) {
 	rep := &Report{Config: cfg, Network: net.Name, Batch: batch}
 	cpb := cfg.Frequency / cfg.Bandwidth
-	h, w := cfg.ArrayHeight, cfg.ArrayWidth
+	proj := simcache.ScaleProj{
+		ArrayHeight: cfg.ArrayHeight, ArrayWidth: cfg.ArrayWidth,
+		BufferBytes: cfg.BufferBytes, CyclesPerByte: cpb,
+	}
 
 	var watch guard.Watch
 	watch.Arm(ctx)
@@ -122,42 +202,9 @@ func simulate(ctx context.Context, cfg Config, net workload.Network, batch int) 
 		if !l.ComputeLayer() {
 			continue
 		}
-		ef := int64(l.OutH() * l.OutW())
-		fits := int64(batch)*l.WorkingSetBytes() <= cfg.BufferBytes
-
-		type tile struct{ rows, filters, channels int }
-		var tiles []tile
-		if l.Kind == workload.DepthwiseConv {
-			for c := 0; c < l.C; c++ {
-				tiles = append(tiles, tile{rows: min(l.R*l.S, h), filters: 1, channels: 1})
-			}
-		} else {
-			rsc := l.R * l.S * l.C
-			for rt := 0; rt < (rsc+h-1)/h; rt++ {
-				rows := min(h, rsc-rt*h)
-				for m := 0; m < l.M; m += w {
-					tiles = append(tiles, tile{
-						rows: rows, filters: min(w, l.M-m),
-						channels: (rows + l.R*l.S - 1) / (l.R * l.S),
-					})
-				}
-			}
-		}
-
-		var layerCompute, layerDRAM int64
-		for _, t := range tiles {
-			// Streaming compute plus array fill/drain and column loading.
-			layerCompute += int64(batch)*ef + int64(2*t.rows+t.filters)
-			// Weight fetch.
-			wBytes := int64(t.rows) * int64(t.filters)
-			layerDRAM += int64(float64(wBytes) * cpb)
-			// Spilled activations re-fetch per mapping.
-			if !fits {
-				spill := int64(batch) * int64(l.H*l.W*t.channels)
-				layerDRAM += int64(float64(spill) * cpb)
-			}
-			rep.MACs += int64(batch) * ef * int64(t.rows) * int64(t.filters)
-		}
+		cost := simulateLayerCached(proj, l.Shape(), batch)
+		layerCompute, layerDRAM := cost.Compute, cost.DRAM
+		rep.MACs += cost.MACs
 		// First layer's inputs arrive from DRAM.
 		if i == 0 {
 			layerDRAM += int64(float64(int64(batch)*l.IfmapBytes()) * cpb)
